@@ -1,0 +1,251 @@
+// Benchmarks regenerating the measurements behind every table and
+// figure of the paper. Table 2 and the portfolio study involve
+// multi-second unsatisfiability proofs by design, so by default those
+// benchmarks run on the faster half of the suite; set
+// FPGASAT_BENCH_FULL=1 to measure all eight Table 2 instances exactly
+// as cmd/experiments does (the recorded results live in
+// EXPERIMENTS.md).
+package fpgasat_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"fpgasat/internal/core"
+	"fpgasat/internal/experiments"
+	"fpgasat/internal/fpga"
+	"fpgasat/internal/graph"
+	"fpgasat/internal/mcnc"
+	"fpgasat/internal/portfolio"
+	"fpgasat/internal/sat"
+)
+
+// benchInstances returns the Table 2 instances measured by default:
+// the two smallest challenging ones, or all eight with
+// FPGASAT_BENCH_FULL=1.
+func benchInstances(b *testing.B) []mcnc.Instance {
+	b.Helper()
+	insts := mcnc.Table2Instances()
+	if os.Getenv("FPGASAT_BENCH_FULL") == "" {
+		return insts[:2]
+	}
+	return insts
+}
+
+func mustInstance(b *testing.B, name string) mcnc.Instance {
+	b.Helper()
+	in, err := mcnc.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+func mustGraph(b *testing.B, in mcnc.Instance) *graph.Graph {
+	b.Helper()
+	_, g, err := in.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func mustStrategy(b *testing.B, spec string) core.Strategy {
+	b.Helper()
+	s, err := core.ParseStrategy(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTable1Encodings measures the generation of the paper's
+// Table 1 example (the three previously known encodings on two
+// adjacent vertices with three colors).
+func BenchmarkTable1Encodings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.RunTable1(); len(tbl.Rows) != 3 {
+			b.Fatal("wrong table")
+		}
+	}
+}
+
+// BenchmarkFigure1Trees measures construction of the four ITE-tree
+// encodings of Figure 1 for a 13-value domain.
+func BenchmarkFigure1Trees(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 measures the unroutability proof (translate + encode
+// + solve at W-1) per instance and strategy column — the grid of the
+// paper's Table 2.
+func BenchmarkTable2(b *testing.B) {
+	for _, in := range benchInstances(b) {
+		g := mustGraph(b, in)
+		w := in.UnroutableW()
+		for _, col := range experiments.Table2Columns {
+			s := mustStrategy(b, col)
+			b.Run(fmt.Sprintf("%s/W=%d/%s", in.Name, w, col), func(b *testing.B) {
+				var conflicts int64
+				for i := 0; i < b.N; i++ {
+					t := experiments.RunStrategy(g, w, s, 0, 0)
+					if t.Status != sat.Unsat {
+						b.Fatalf("got %v, want Unsat", t.Status)
+					}
+					conflicts += t.Conflicts
+				}
+				b.ReportMetric(float64(conflicts)/float64(b.N), "conflicts/op")
+			})
+		}
+	}
+}
+
+// BenchmarkRoutable measures the satisfiable side (finding a detailed
+// routing at W) for every paper encoding — the paper's observation
+// that routable configurations are fast under all encodings.
+func BenchmarkRoutable(b *testing.B) {
+	in := mustInstance(b, "alu2")
+	g := mustGraph(b, in)
+	for _, encName := range core.PaperEncodingNames {
+		s := mustStrategy(b, encName+"/s1")
+		b.Run(fmt.Sprintf("%s/W=%d/%s", in.Name, in.RoutableW, encName), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := experiments.RunStrategy(g, in.RoutableW, s, 0, 0)
+				if t.Status != sat.Sat {
+					b.Fatalf("got %v, want Sat", t.Status)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPortfolio measures the paper's 2- and 3-strategy portfolios
+// against the best single strategy on an unroutability proof.
+func BenchmarkPortfolio(b *testing.B) {
+	in := mustInstance(b, "alu2")
+	g := mustGraph(b, in)
+	w := in.UnroutableW()
+	single := mustStrategy(b, "ITE-linear-2+muldirect/s1")
+	b.Run("single/"+single.Name(), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if t := experiments.RunStrategy(g, w, single, 0, 0); t.Status != sat.Unsat {
+				b.Fatal(t.Status)
+			}
+		}
+	})
+	for name, members := range map[string][]core.Strategy{
+		"portfolio2": portfolio.PaperPortfolio2(),
+		"portfolio3": portfolio.PaperPortfolio3(),
+	} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				winner, _, err := portfolio.Run(g, w, members, 0)
+				if err != nil || winner.Status != sat.Unsat {
+					b.Fatalf("%v %v", winner.Status, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncodingSizes measures pure CNF generation (the
+// "translation to CNF" column of the paper's time accounting) per
+// encoding.
+func BenchmarkEncodingSizes(b *testing.B) {
+	in := mustInstance(b, "9symml")
+	g := mustGraph(b, in)
+	w := in.UnroutableW()
+	for _, encName := range core.PaperEncodingNames {
+		enc, err := core.ByName(encName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(encName, func(b *testing.B) {
+			var clauses int
+			for i := 0; i < b.N; i++ {
+				e := core.Encode(core.NewCSP(g, w), enc)
+				clauses = e.CNF.NumClauses()
+			}
+			b.ReportMetric(float64(clauses), "clauses")
+		})
+	}
+}
+
+// BenchmarkGlobalRouter measures the PathFinder-style global router
+// (the "translation to graph coloring" cost).
+func BenchmarkGlobalRouter(b *testing.B) {
+	in := mustInstance(b, "alu2")
+	nl, err := fpga.Generate(in.Name, in.Gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		gr, _, err := fpga.RouteGlobal(nl, in.Route)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if gr.ConflictGraph().N() == 0 {
+			b.Fatal("empty conflict graph")
+		}
+	}
+}
+
+// BenchmarkSolverPigeonhole measures the raw CDCL solver on a classic
+// unsatisfiable family.
+func BenchmarkSolverPigeonhole(b *testing.B) {
+	for _, holes := range []int{6, 7, 8} {
+		b.Run(fmt.Sprintf("PHP%d", holes), func(b *testing.B) {
+			cnf := &sat.CNF{}
+			v := func(p, h int) int { return p*holes + h + 1 }
+			for p := 0; p <= holes; p++ {
+				cl := make([]int, holes)
+				for h := 0; h < holes; h++ {
+					cl[h] = v(p, h)
+				}
+				cnf.AddClause(cl...)
+			}
+			for h := 0; h < holes; h++ {
+				for p1 := 0; p1 <= holes; p1++ {
+					for p2 := p1 + 1; p2 <= holes; p2++ {
+						cnf.AddClause(-v(p1, h), -v(p2, h))
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := sat.SolveCNF(cnf, sat.Options{}, nil); res.Status != sat.Unsat {
+					b.Fatal(res.Status)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolverRandom3SAT measures the solver on satisfiable random
+// instances near ratio 3.
+func BenchmarkSolverRandom3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cnf := &sat.CNF{NumVars: 300}
+	for i := 0; i < 900; i++ {
+		var cl []int
+		for len(cl) < 3 {
+			v := rng.Intn(300) + 1
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			cl = append(cl, v)
+		}
+		cnf.AddClause(cl...)
+	}
+	for i := 0; i < b.N; i++ {
+		if res := sat.SolveCNF(cnf, sat.Options{}, nil); res.Status != sat.Sat {
+			b.Fatal(res.Status)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command calibrate regenerates every registered benchmark instance
+// and reports its conflict-graph statistics, chromatic number (found
+// with the SAT flow itself) and indicative solve times for a slow and
+// a fast strategy on the unroutable configuration. It is the tool that
+// produced (and re-checks) the RoutableW values baked into package
+// mcnc.
+//
+// Usage:
+//
+//	calibrate [-instance name] [-timeout seconds]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fpgasat/internal/coloring"
+	"fpgasat/internal/core"
+	"fpgasat/internal/graph"
+	"fpgasat/internal/mcnc"
+	"fpgasat/internal/sat"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("calibrate: ")
+	instName := flag.String("instance", "", "calibrate a single instance (default all)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-solve timeout")
+	flag.Parse()
+
+	insts := mcnc.Instances()
+	if *instName != "" {
+		in, err := mcnc.ByName(*instName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		insts = []mcnc.Instance{in}
+	}
+
+	slow, err := core.ParseStrategy("muldirect")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fast, err := core.ParseStrategy("ITE-linear-2+muldirect/s1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %6s %7s %4s %4s %4s | %11s %11s %11s\n",
+		"instance", "V", "E", "clq", "dsat", "chi", "unsat-fast", "unsat-slow", "sat-fast")
+	exit := 0
+	for _, in := range insts {
+		_, g, err := in.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		clique := len(coloring.GreedyClique(g))
+		_, ub := coloring.DSATUR(g)
+
+		// Find chi with the fast strategy, descending from the DSATUR
+		// upper bound.
+		chi := ub
+		for k := ub - 1; k >= clique && k >= 1; k-- {
+			st, dur := solveGraph(fast, g, k, *timeout)
+			if st == sat.Unknown {
+				fmt.Fprintf(os.Stderr, "  %s: k=%d timed out after %v\n", in.Name, k, dur)
+				break
+			}
+			if st == sat.Unsat {
+				break
+			}
+			chi = k
+		}
+
+		stFastU, dFastU := solveGraph(fast, g, chi-1, *timeout)
+		stSlowU, dSlowU := solveGraph(slow, g, chi-1, *timeout)
+		stFastS, dFastS := solveGraph(fast, g, chi, *timeout)
+		fmt.Printf("%-10s %6d %7d %4d %4d %4d | %10.2fs%c %10.2fs%c %10.2fs%c\n",
+			in.Name, g.N(), g.M(), clique, ub, chi,
+			dFastU.Seconds(), mark(stFastU, sat.Unsat),
+			dSlowU.Seconds(), mark(stSlowU, sat.Unsat),
+			dFastS.Seconds(), mark(stFastS, sat.Sat))
+		if chi != in.RoutableW {
+			fmt.Printf("  !! registry says RoutableW=%d but measured chi=%d\n", in.RoutableW, chi)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// solveGraph encodes and solves one (strategy, graph, k) configuration
+// with a wall-clock timeout.
+func solveGraph(s core.Strategy, g *graph.Graph, k int, timeout time.Duration) (sat.Status, time.Duration) {
+	start := time.Now()
+	enc := s.EncodeGraph(g, k)
+	stop := make(chan struct{})
+	timer := time.AfterFunc(timeout, func() { close(stop) })
+	defer timer.Stop()
+	st, _, err := enc.Solve(sat.Options{}, stop)
+	if err != nil {
+		log.Fatalf("%s k=%d: %v", s.Name(), k, err)
+	}
+	return st, time.Since(start)
+}
+
+func mark(got, want sat.Status) byte {
+	if got == want {
+		return ' '
+	}
+	if got == sat.Unknown {
+		return '?'
+	}
+	return '!'
+}

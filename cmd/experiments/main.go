@@ -1,0 +1,151 @@
+// Command experiments regenerates the paper's tables and figures on
+// the synthetic MCNC-style benchmark suite. Each experiment is
+// rendered as Markdown (the same format recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments -table1 -figure1 -table2 -routable -portfolio -sizes
+//	experiments -all [-timeout 60s] [-quick] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"fpgasat/internal/experiments"
+	"fpgasat/internal/mcnc"
+	"fpgasat/internal/symmetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		table1    = flag.Bool("table1", false, "reproduce Table 1 (example encodings)")
+		figure1   = flag.Bool("figure1", false, "reproduce Figure 1 (ITE trees for 13 values)")
+		table2    = flag.Bool("table2", false, "reproduce Table 2 (unroutable configurations)")
+		routable  = flag.Bool("routable", false, "reproduce the routable-configuration comparison")
+		portfolio = flag.Bool("portfolio", false, "reproduce the portfolio study")
+		sizes     = flag.Bool("sizes", false, "encoding-size ablation")
+		solvers   = flag.Bool("solvers", false, "solver-profile comparison (siege vs MiniSat analog)")
+		trees     = flag.Bool("trees", false, "ITE-tree shape ablation")
+		symAbl    = flag.Bool("symmetry", false, "symmetry-heuristic ablation (-, b1, s1, c1)")
+		baselines = flag.Bool("baselines", false, "one-net-at-a-time baselines vs the SAT flow")
+		all       = flag.Bool("all", false, "run everything")
+		quick     = flag.Bool("quick", false, "use only the first two benchmarks (smoke test)")
+		timeout   = flag.Duration("timeout", 120*time.Second, "per-solve timeout (0 = none)")
+		verbose   = flag.Bool("v", false, "print per-solve progress to stderr")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *figure1, *table2, *routable, *portfolio = true, true, true, true, true
+		*sizes, *solvers, *trees, *symAbl, *baselines = true, true, true, true, true
+	}
+	if !*table1 && !*figure1 && !*table2 && !*routable && !*portfolio &&
+		!*sizes && !*solvers && !*trees && !*symAbl && !*baselines {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	insts := mcnc.Table2Instances()
+	if *quick {
+		insts = insts[:2]
+	}
+
+	fmt.Printf("# fpgasat experiment run (%s)\n\n", time.Now().Format(time.RFC3339))
+	if *table1 {
+		fmt.Println(experiments.RunTable1().Markdown())
+	}
+	if *figure1 {
+		f, err := experiments.RunFigure1()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f.Markdown())
+	}
+	if *table2 {
+		start := time.Now()
+		r, err := experiments.RunTable2(experiments.Table2Config{
+			Instances: insts, Timeout: *timeout, Progress: progress,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Markdown())
+		fmt.Printf("Best single strategy: **%s** (total %s). Symmetry wins per heuristic: %v. Run time %s.\n\n",
+			r.Columns[r.Best()], r.Totals[r.Best()], r.SymmetryWins(), time.Since(start).Round(time.Second))
+	}
+	if *routable {
+		r, err := experiments.RunRoutable(experiments.RoutableConfig{
+			Instances: insts, Timeout: *timeout, Progress: progress,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Markdown())
+		fmt.Printf("Spread (slowest/fastest encoding total): %.1f×\n\n", r.Spread())
+	}
+	if *portfolio {
+		r, err := experiments.RunPortfolio(experiments.PortfolioConfig{
+			Instances: insts, Timeout: *timeout, Progress: progress,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Markdown())
+	}
+	if *sizes {
+		r, err := experiments.RunSizes(insts[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Markdown())
+	}
+	if *solvers {
+		cfgInsts := insts
+		if len(cfgInsts) > 4 {
+			cfgInsts = cfgInsts[:4]
+		}
+		r, err := experiments.RunSolverCompare(experiments.SolverCompareConfig{
+			Instances: cfgInsts, Timeout: *timeout, Progress: progress,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Markdown())
+	}
+	if *trees {
+		r, err := experiments.RunTreeAblation(experiments.TreeAblationConfig{
+			Instance: insts[0], Symmetry: symmetry.S1, Timeout: *timeout, Progress: progress,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Markdown())
+	}
+	if *baselines {
+		r, err := experiments.RunBaselines(insts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Markdown())
+	}
+	if *symAbl {
+		r, err := experiments.RunSymmetryAblation(experiments.SymmetryAblationConfig{
+			Instances: insts, Timeout: *timeout, Progress: progress,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("### Symmetry-heuristic ablation (fixed encoding ITE-linear-2+muldirect)")
+		fmt.Println()
+		fmt.Println(r.Markdown())
+	}
+}

@@ -1,0 +1,260 @@
+// Command fpgasat is the end-to-end SAT-based FPGA detailed router:
+// it generates (or looks up) a benchmark netlist, computes a global
+// routing, translates the detailed-routing problem to graph coloring
+// and then to CNF under a chosen encoding/symmetry strategy, runs the
+// CDCL solver, and either prints the detailed routing (track
+// assignment) or reports a proof of unroutability.
+//
+// Usage:
+//
+//	fpgasat -instance vda -w 7 -strategy ITE-linear-2+muldirect/s1
+//	fpgasat -instance alu2 -findmin             # minimum channel width
+//	fpgasat -instance k2 -w 8 -col out.col      # emit DIMACS graph
+//	fpgasat -instance k2 -w 8 -cnf out.cnf      # emit DIMACS CNF
+//	fpgasat -instance apex7 -w 8 -tracks        # print track assignment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fpgasat/internal/coloring"
+	"fpgasat/internal/core"
+	"fpgasat/internal/fpga"
+	"fpgasat/internal/graph"
+	"fpgasat/internal/mcnc"
+	"fpgasat/internal/sat"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fpgasat: ")
+	var (
+		instName = flag.String("instance", "alu2", "benchmark instance name (see -list)")
+		netFile  = flag.String("netlist", "", "route an external netlist file instead of a benchmark instance")
+		rtFile   = flag.String("routing", "", "use an external global-routing file (requires -netlist)")
+		list     = flag.Bool("list", false, "list available instances and exit")
+		w        = flag.Int("w", 0, "channel width W (default: the instance's routable width)")
+		strategy = flag.String("strategy", "ITE-linear-2+muldirect/s1", "encoding[/heuristic]")
+		findMin  = flag.Bool("findmin", false, "find the minimum routable channel width")
+		colOut   = flag.String("col", "", "write the conflict graph in DIMACS edge format to this file")
+		cnfOut   = flag.String("cnf", "", "write the CNF in DIMACS format to this file")
+		tracks   = flag.Bool("tracks", false, "print the full track assignment when routable")
+		proof    = flag.String("proof", "", "on UNROUTABLE, write a DRAT unroutability certificate here and verify it")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "solve timeout (0 = none)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range mcnc.Names() {
+			in, _ := mcnc.ByName(name)
+			fmt.Printf("%-10s %2dx%-2d %4d nets  routable W=%d\n",
+				in.Name, in.Gen.Cols, in.Gen.Rows, in.Gen.NumNets, in.RoutableW)
+		}
+		return
+	}
+
+	s, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	var gr *fpga.GlobalRouting
+	name := *instName
+	if *netFile != "" {
+		gr = loadExternal(*netFile, *rtFile)
+		name = gr.Netlist.Name
+		if *w == 0 {
+			log.Fatal("-w is required with -netlist")
+		}
+	} else {
+		in, err := mcnc.ByName(*instName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *w == 0 {
+			*w = in.RoutableW
+		}
+		gr, _, err = in.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := gr.ConflictGraph()
+	fmt.Printf("instance %s: %dx%d array, %d nets, %d 2-pin nets\n",
+		name, gr.Netlist.Arch.Cols, gr.Netlist.Arch.Rows, len(gr.Netlist.Nets), len(gr.Routes))
+	fmt.Printf("conflict graph: %d vertices, %d edges, max congestion %d (translate %v)\n",
+		g.N(), g.M(), gr.MaxCongestion(), time.Since(start).Round(time.Millisecond))
+
+	if *colOut != "" {
+		if err := writeCol(*colOut, g, name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote conflict graph to %s\n", *colOut)
+	}
+
+	if *findMin {
+		findMinimum(gr, g, s, *timeout)
+		return
+	}
+
+	enc := s.EncodeGraph(g, *w)
+	if *cnfOut != "" {
+		if err := writeCnf(*cnfOut, enc.CNF); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote CNF to %s (%d vars, %d clauses)\n",
+			*cnfOut, enc.CNF.NumVars, enc.CNF.NumClauses())
+	}
+
+	opts := sat.Options{}
+	var proofFile *os.File
+	if *proof != "" {
+		proofFile, err = os.Create(*proof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.ProofWriter = proofFile
+	}
+	st, colors := solveWith(enc, opts, *timeout)
+	if proofFile != nil {
+		if err := proofFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if st == sat.Unsat {
+			pf, err := os.Open(*proof)
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = sat.CheckDRAT(enc.CNF, pf)
+			pf.Close()
+			if err != nil {
+				log.Fatalf("unroutability certificate failed verification: %v", err)
+			}
+			fmt.Printf("unroutability certificate written to %s and verified (DRAT)\n", *proof)
+		}
+	}
+	switch st {
+	case sat.Sat:
+		dr, err := fpga.AssignTracks(gr, colors, *w)
+		if err != nil {
+			log.Fatalf("decoded routing invalid: %v", err)
+		}
+		fmt.Printf("ROUTABLE with W=%d tracks (strategy %s)\n", *w, s.Name())
+		if *tracks {
+			printTracks(dr)
+		}
+	case sat.Unsat:
+		fmt.Printf("UNROUTABLE with W=%d tracks — proven by %s\n", *w, s.Name())
+	default:
+		fmt.Printf("UNDECIDED within %v\n", *timeout)
+		os.Exit(1)
+	}
+}
+
+func solveOnce(enc *core.Encoded, timeout time.Duration) (sat.Status, []int) {
+	return solveWith(enc, sat.Options{}, timeout)
+}
+
+func solveWith(enc *core.Encoded, opts sat.Options, timeout time.Duration) (sat.Status, []int) {
+	var stop chan struct{}
+	if timeout > 0 {
+		stop = make(chan struct{})
+		t := time.AfterFunc(timeout, func() { close(stop) })
+		defer t.Stop()
+	}
+	start := time.Now()
+	st, colors, err := enc.Solve(opts, stop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SAT solve: %v (%d vars, %d clauses) -> %v\n",
+		time.Since(start).Round(time.Millisecond), enc.CNF.NumVars, enc.CNF.NumClauses(), st)
+	return st, colors
+}
+
+// findMinimum performs the paper's optimality flow: descend from the
+// DSATUR upper bound, proving routability at each width until the
+// first unroutable one.
+func findMinimum(gr *fpga.GlobalRouting, g *graph.Graph, s core.Strategy, timeout time.Duration) {
+	_, ub := coloring.DSATUR(g)
+	fmt.Printf("DSATUR upper bound: %d; clique lower bound: %d\n",
+		ub, len(coloring.GreedyClique(g)))
+	best := ub
+	for k := ub - 1; k >= 1; k-- {
+		st, _ := solveOnce(s.EncodeGraph(g, k), timeout)
+		if st == sat.Unsat {
+			fmt.Printf("minimum channel width: W=%d (W=%d proven unroutable)\n", best, k)
+			return
+		}
+		if st == sat.Unknown {
+			fmt.Printf("undecided at W=%d; best known routable width: %d\n", k, best)
+			os.Exit(1)
+		}
+		best = k
+	}
+	fmt.Printf("minimum channel width: W=%d\n", best)
+}
+
+func printTracks(dr *fpga.DetailedRouting) {
+	for i, r := range dr.Global.Routes {
+		fmt.Printf("  %-12s track %d  (%d connection blocks)\n",
+			r.Label(dr.Global.Netlist), dr.Tracks[i], len(r.Segs))
+	}
+}
+
+// loadExternal reads a netlist file and either a companion global-
+// routing file or computes a fresh global routing.
+func loadExternal(netPath, rtPath string) *fpga.GlobalRouting {
+	nf, err := os.Open(netPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nf.Close()
+	nl, err := fpga.ParseNetlist(nf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rtPath == "" {
+		gr, converged, err := fpga.RouteGlobal(nl, fpga.RouteOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !converged {
+			fmt.Println("note: global router did not meet its occupancy target; routing is valid but congested")
+		}
+		return gr
+	}
+	rf, err := os.Open(rtPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rf.Close()
+	gr, err := fpga.ParseRouting(rf, nl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return gr
+}
+
+func writeCol(path string, g *graph.Graph, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return graph.WriteDIMACS(f, g, "conflict graph of instance "+name)
+}
+
+func writeCnf(path string, cnf *sat.CNF) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sat.WriteDIMACS(f, cnf)
+}

@@ -1,0 +1,105 @@
+// Command mcncgen regenerates the synthetic MCNC-style benchmark
+// instances and writes their conflict graphs as DIMACS .col files, so
+// the graph-coloring step of the flow can also be fed to third-party
+// coloring or SAT tooling.
+//
+// Usage:
+//
+//	mcncgen -dir bench/           # write all instances
+//	mcncgen -instance vda -stats  # stats only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"fpgasat/internal/coloring"
+	"fpgasat/internal/fpga"
+	"fpgasat/internal/graph"
+	"fpgasat/internal/mcnc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcncgen: ")
+	var (
+		dir      = flag.String("dir", "", "directory to write .col files into (omit for stats only)")
+		full     = flag.Bool("full", false, "with -dir, also write .net netlists and .route global routings")
+		instName = flag.String("instance", "", "restrict to one instance")
+		stats    = flag.Bool("stats", true, "print instance statistics")
+	)
+	flag.Parse()
+
+	insts := mcnc.Instances()
+	if *instName != "" {
+		in, err := mcnc.ByName(*instName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		insts = []mcnc.Instance{in}
+	}
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *stats {
+		fmt.Printf("%-10s %7s %6s %8s %6s %6s %9s %4s\n",
+			"instance", "array", "nets", "2pin", "V", "E", "congest", "W")
+	}
+	for _, in := range insts {
+		gr, g, err := in.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *stats {
+			fmt.Printf("%-10s %3dx%-3d %6d %8d %6d %6d %9d %4d\n",
+				in.Name, in.Gen.Cols, in.Gen.Rows, len(gr.Netlist.Nets),
+				len(gr.Routes), g.N(), g.M(), gr.MaxCongestion(), in.RoutableW)
+		}
+		if *dir != "" {
+			path := filepath.Join(*dir, in.Name+".col")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			comment := fmt.Sprintf("instance %s: routable W=%d, unroutable W=%d, clique>=%d",
+				in.Name, in.RoutableW, in.UnroutableW(), len(coloring.GreedyClique(g)))
+			if err := graph.WriteDIMACS(f, g, comment); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			if *full {
+				writeFile(filepath.Join(*dir, in.Name+".net"), func(w *os.File) error {
+					return fpga.WriteNetlist(w, gr.Netlist)
+				})
+				writeFile(filepath.Join(*dir, in.Name+".route"), func(w *os.File) error {
+					return fpga.WriteRouting(w, gr)
+				})
+			}
+		}
+	}
+}
+
+// writeFile creates path and runs fn on it, exiting on any error.
+func writeFile(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

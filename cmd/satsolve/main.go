@@ -1,0 +1,142 @@
+// Command satsolve runs the built-in CDCL solver on a DIMACS CNF file
+// and prints the result in SAT-competition output format
+// ("s SATISFIABLE" / "s UNSATISFIABLE" plus "v" model lines).
+//
+// Usage:
+//
+//	satsolve formula.cnf
+//	satsolve < formula.cnf
+//	satsolve -budget 100000 -stats formula.cnf
+//	satsolve -proof refutation.drat formula.cnf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"fpgasat/internal/sat"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("satsolve: ")
+	var (
+		budget   = flag.Int64("budget", 0, "conflict budget (0 = unlimited)")
+		stats    = flag.Bool("stats", false, "print solver statistics to stderr")
+		noModel  = flag.Bool("q", false, "suppress the model (v lines)")
+		proof    = flag.String("proof", "", "write a DRAT proof to this file and self-check it on UNSAT")
+		simplify = flag.Bool("simplify", false, "preprocess with unit propagation and pure-literal elimination")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	cnf, err := sat.ParseDIMACS(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pre *sat.Simplified
+	if *simplify {
+		pre = sat.Simplify(cnf)
+		fmt.Fprintf(os.Stderr, "c simplify: %d -> %d clauses, %d vars fixed\n",
+			len(cnf.Clauses), len(pre.CNF.Clauses), len(pre.Fixed))
+		switch pre.Status {
+		case sat.Unsat:
+			fmt.Println("s UNSATISFIABLE")
+			os.Exit(20)
+		case sat.Sat:
+			fmt.Println("s SATISFIABLE")
+			if !*noModel {
+				model, err := pre.Extend(nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				printModel(model)
+			}
+			os.Exit(10)
+		}
+		cnf = pre.CNF
+	}
+	opts := sat.Options{ConflictBudget: *budget}
+	var proofFile *os.File
+	if *proof != "" {
+		var err error
+		proofFile, err = os.Create(*proof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.ProofWriter = proofFile
+	}
+	res := sat.SolveCNF(cnf, opts, nil)
+	if proofFile != nil {
+		if err := proofFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if res.Status == sat.Unsat {
+			pf, err := os.Open(*proof)
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = sat.CheckDRAT(cnf, pf)
+			pf.Close()
+			if err != nil {
+				log.Fatalf("generated proof failed verification: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "c DRAT proof written to %s and verified\n", *proof)
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "c conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d removed=%d\n",
+			res.Stats.Conflicts, res.Stats.Decisions, res.Stats.Propagations,
+			res.Stats.Restarts, res.Stats.Learnt, res.Stats.Removed)
+	}
+	switch res.Status {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		if !*noModel {
+			model := res.Model
+			if pre != nil {
+				var err error
+				model, err = pre.Extend(model)
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			printModel(model)
+		}
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+		os.Exit(1)
+	}
+	os.Exit(10)
+}
+
+func printModel(model []bool) {
+	line := "v"
+	for i, val := range model {
+		lit := i + 1
+		if !val {
+			lit = -lit
+		}
+		s := fmt.Sprintf(" %d", lit)
+		if len(line)+len(s) > 76 {
+			fmt.Println(line)
+			line = "v"
+		}
+		line += s
+	}
+	fmt.Println(line + " 0")
+}

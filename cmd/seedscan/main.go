@@ -1,0 +1,148 @@
+// Command seedscan searches generator seeds for "challenging
+// unroutable configurations" in the sense of the paper's Table 2:
+// instances whose W-1 unroutability proof is expensive for the
+// baseline muldirect encoding without symmetry breaking. The selected
+// seeds are baked into package mcnc; this tool documents and
+// reproduces that selection.
+//
+// For every size class and seed it regenerates the instance, finds the
+// conflict graph's chromatic number with a fast strategy, then times
+// the baseline on the unroutable width. Selection uses only the
+// baseline time (the paper's notion of "challenging"), never the times
+// of the new encodings.
+//
+// Usage:
+//
+//	seedscan [-class name] [-seeds n] [-min seconds] [-cap seconds]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"fpgasat/internal/coloring"
+	"fpgasat/internal/core"
+	"fpgasat/internal/fpga"
+	"fpgasat/internal/graph"
+	"fpgasat/internal/mcnc"
+	"fpgasat/internal/sat"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seedscan: ")
+	class := flag.String("class", "", "scan a single size class (instance name)")
+	seeds := flag.Int("seeds", 12, "seeds per class")
+	minHard := flag.Duration("min", 2*time.Second, "minimum baseline time to call a seed challenging")
+	capT := flag.Duration("cap", 30*time.Second, "per-solve cap")
+	flag.Parse()
+
+	fast1 := mustStrategy("ITE-log/s1")
+	fast2 := mustStrategy("ITE-linear-2+muldirect/s1")
+	slow := mustStrategy("muldirect")
+
+	for _, in := range mcnc.Instances() {
+		if *class != "" && in.Name != *class {
+			continue
+		}
+		if !in.Hard {
+			continue
+		}
+		fmt.Printf("== class %s (%dx%d, %d nets)\n", in.Name, in.Gen.Cols, in.Gen.Rows, in.Gen.NumNets)
+		base := in.Gen.Seed
+		for s := 0; s < *seeds; s++ {
+			gen := in.Gen
+			gen.Seed = base + int64(1000*s)
+			nl, err := fpga.Generate(in.Name, gen)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gr, _, err := fpga.RouteGlobal(nl, in.Route)
+			if err != nil {
+				log.Fatal(err)
+			}
+			g := gr.ConflictGraph()
+			chi, ok := findChi(g, fast1, fast2, *capT)
+			if !ok {
+				fmt.Printf("  seed %-6d V=%-4d E=%-5d chi=? (timeout)\n", gen.Seed, g.N(), g.M())
+				continue
+			}
+			clq := len(coloring.GreedyClique(g))
+			tSlow, stSlow := timeSolve(slow, g, chi-1, *capT)
+			mark := " "
+			if stSlow == sat.Unknown || tSlow >= *minHard {
+				mark = "*"
+			}
+			tF1, _ := timeSolve(fast1, g, chi-1, *capT)
+			tF2, _ := timeSolve(fast2, g, chi-1, *capT)
+			fmt.Printf("  seed %-6d V=%-4d E=%-5d clq=%d chi=%d | muldirect/-: %8.2fs%s %s  [%s: %.2fs, %s: %.2fs]\n",
+				gen.Seed, g.N(), g.M(), clq, chi,
+				tSlow.Seconds(), timeoutSuffix(stSlow), mark,
+				fast1.Name(), tF1.Seconds(), fast2.Name(), tF2.Seconds())
+		}
+	}
+}
+
+func mustStrategy(s string) core.Strategy {
+	st, err := core.ParseStrategy(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+// findChi locates the chromatic number by descending from the DSATUR
+// bound, racing two fast strategies at each width.
+func findChi(g *graph.Graph, a, b core.Strategy, cap time.Duration) (int, bool) {
+	_, ub := coloring.DSATUR(g)
+	chi := ub
+	for k := ub - 1; k >= 1; k-- {
+		st := race(g, k, cap, a, b)
+		if st == sat.Unknown {
+			return 0, false
+		}
+		if st == sat.Unsat {
+			return chi, true
+		}
+		chi = k
+	}
+	return chi, true
+}
+
+// race solves (g,k) with the given strategies sequentially until one
+// answers within the cap.
+func race(g *graph.Graph, k int, cap time.Duration, strategies ...core.Strategy) sat.Status {
+	for _, s := range strategies {
+		if _, st := timeSolveInv(s, g, k, cap); st != sat.Unknown {
+			return st
+		}
+	}
+	return sat.Unknown
+}
+
+func timeSolve(s core.Strategy, g *graph.Graph, k int, cap time.Duration) (time.Duration, sat.Status) {
+	d, st := timeSolveInv(s, g, k, cap)
+	return d, st
+}
+
+func timeSolveInv(s core.Strategy, g *graph.Graph, k int, cap time.Duration) (time.Duration, sat.Status) {
+	start := time.Now()
+	enc := s.EncodeGraph(g, k)
+	stop := make(chan struct{})
+	timer := time.AfterFunc(cap, func() { close(stop) })
+	defer timer.Stop()
+	st, _, err := enc.Solve(sat.Options{}, stop)
+	if err != nil {
+		log.Fatalf("%s k=%d: %v", s.Name(), k, err)
+	}
+	return time.Since(start), st
+}
+
+func timeoutSuffix(st sat.Status) string {
+	if st == sat.Unknown {
+		return "+"
+	}
+	return ""
+}

@@ -1,0 +1,13 @@
+// Package fpgasat reproduces "Comparison of Boolean Satisfiability
+// Encodings on FPGA Detailed Routing Problems" (Velev & Gao, DATE
+// 2008): a tool flow that translates FPGA detailed routing to graph
+// coloring and then to SAT under 14 different CSP-to-SAT encodings,
+// with two symmetry-breaking heuristics and parallel strategy
+// portfolios.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); command-line tools are under cmd/ and runnable
+// examples under examples/. The benchmarks in bench_test.go regenerate
+// the measurements of every table and figure in the paper; the
+// authoritative recorded runs are in EXPERIMENTS.md.
+package fpgasat

@@ -1,0 +1,70 @@
+package fpgasat_test
+
+import (
+	"fmt"
+	"strings"
+
+	fpgasat "fpgasat"
+)
+
+// ExampleParseStrategy shows the paper's strategy naming: an encoding
+// name optionally followed by a symmetry-breaking heuristic.
+func ExampleParseStrategy() {
+	s, err := fpgasat.ParseStrategy("ITE-linear-2+muldirect/s1")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Name())
+	fmt.Println(s.Encoding.Multivalued())
+	// Output:
+	// ITE-linear-2+muldirect/s1
+	// true
+}
+
+// ExampleEncodeCSP encodes a triangle 3-coloring with the muldirect
+// encoding and solves it.
+func ExampleEncodeCSP() {
+	g, _ := fpgasat.ParseGraphDIMACS(strings.NewReader(
+		"p edge 3 3\ne 1 2\ne 2 3\ne 1 3\n"))
+	csp := fpgasat.NewCSP(g, 3)
+	enc := fpgasat.EncodeCSP(csp, fpgasat.NewSimple(fpgasat.KindMuldirect))
+	fmt.Println(enc.CNF.NumVars, "variables,", enc.CNF.NumClauses(), "clauses")
+	res := fpgasat.SolveCNF(enc.CNF, fpgasat.SolverOptions{}, nil)
+	fmt.Println(res.Status)
+	colors, _ := enc.Decode(res.Model)
+	fmt.Println("proper:", fpgasat.VerifyColoring(g, colors, 3) == nil)
+	// Output:
+	// 9 variables, 12 clauses
+	// SATISFIABLE
+	// proper: true
+}
+
+// ExampleEncodingByName lists the Boolean variables each paper
+// encoding allocates for a single CSP variable with 13 domain values
+// (the domain size of the paper's Fig. 1).
+func ExampleEncodingByName() {
+	for _, name := range []string{"log", "muldirect", "ITE-linear", "ITE-log-2+ITE-linear"} {
+		enc, err := fpgasat.EncodingByName(name)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(enc.Name())
+	}
+	// Output:
+	// log
+	// muldirect
+	// ITE-linear
+	// ITE-log-2+ITE-linear
+}
+
+// ExampleNewCSP shows symmetry breaking shrinking color domains: the
+// i-th selected vertex may only use colors < i+1.
+func ExampleNewCSP() {
+	g, _ := fpgasat.ParseGraphDIMACS(strings.NewReader(
+		"p edge 4 4\ne 1 2\ne 2 3\ne 3 4\ne 4 1\n"))
+	csp := fpgasat.NewCSP(g, 3)
+	csp.ApplySequence([]int{0, 1}) // vertex 0 -> {0}, vertex 1 -> {0,1}
+	fmt.Println(csp.Domain)
+	// Output:
+	// [1 2 3 3]
+}

@@ -1,0 +1,218 @@
+package fpgasat
+
+// This file is the public API of the module: a facade over the
+// internal packages, so that downstream users can drive the complete
+// flow — netlist → global routing → conflict graph → CSP-to-SAT
+// encoding → CDCL solving → verified detailed routing — through one
+// import. The examples/ directory shows it in use; the internal
+// packages remain the implementation.
+
+import (
+	"io"
+	"time"
+
+	"fpgasat/internal/coloring"
+	"fpgasat/internal/core"
+	"fpgasat/internal/fpga"
+	"fpgasat/internal/graph"
+	"fpgasat/internal/mcnc"
+	"fpgasat/internal/portfolio"
+	"fpgasat/internal/sat"
+	"fpgasat/internal/symmetry"
+)
+
+// Re-exported types. Aliases keep the full method sets of the
+// underlying implementations.
+type (
+	// Graph is an undirected conflict graph: vertices are 2-pin nets,
+	// edges are track-exclusivity constraints.
+	Graph = graph.Graph
+
+	// CSP is a graph-coloring constraint-satisfaction problem with
+	// per-vertex color domains.
+	CSP = core.CSP
+	// Encoding translates CSP variables to Boolean variables, cubes
+	// and structural clauses (the paper's contribution).
+	Encoding = core.Encoding
+	// Level is one partition level of a hierarchical encoding.
+	Level = core.Level
+	// Kind identifies a simple encoding (log, direct, muldirect,
+	// ITE-linear, ITE-log).
+	Kind = core.Kind
+	// Cube is an indexing Boolean pattern.
+	Cube = core.Cube
+	// Encoded is a CSP translated to CNF, ready to solve and decode.
+	Encoded = core.Encoded
+	// Strategy pairs an encoding with a symmetry-breaking heuristic.
+	Strategy = core.Strategy
+	// TreeShape builds arbitrary ITE-tree structures.
+	TreeShape = core.TreeShape
+
+	// Heuristic is a symmetry-breaking heuristic (None, B1, S1, C1).
+	Heuristic = symmetry.Heuristic
+
+	// CNF is a formula in DIMACS literal convention.
+	CNF = sat.CNF
+	// SolverOptions configure the CDCL solver.
+	SolverOptions = sat.Options
+	// SolveResult bundles status, model and statistics.
+	SolveResult = sat.Result
+	// Status is Sat, Unsat or Unknown.
+	Status = sat.Status
+
+	// Arch is an island-style FPGA array.
+	Arch = fpga.Arch
+	// Pin is a logic-block pin.
+	Pin = fpga.Pin
+	// Net is a multi-pin net (source first).
+	Net = fpga.Net
+	// Netlist is a placed circuit.
+	Netlist = fpga.Netlist
+	// GenParams control the synthetic netlist generator.
+	GenParams = fpga.GenParams
+	// RouteOptions configure the negotiated-congestion global router.
+	RouteOptions = fpga.RouteOptions
+	// GlobalRouting is a netlist with segment-level 2-pin routes.
+	GlobalRouting = fpga.GlobalRouting
+	// DetailedRouting adds a verified track assignment.
+	DetailedRouting = fpga.DetailedRouting
+
+	// Instance is a calibrated benchmark instance.
+	Instance = mcnc.Instance
+	// PortfolioResult is one strategy's outcome within a portfolio run.
+	PortfolioResult = portfolio.Result
+)
+
+// Solver statuses.
+const (
+	Sat     = sat.Sat
+	Unsat   = sat.Unsat
+	Unknown = sat.Unknown
+)
+
+// Simple encoding kinds.
+const (
+	KindLog       = core.KindLog
+	KindDirect    = core.KindDirect
+	KindMuldirect = core.KindMuldirect
+	KindITELinear = core.KindITELinear
+	KindITELog    = core.KindITELog
+)
+
+// Symmetry-breaking heuristics: none, Van Gelder's b1, the paper's s1
+// and the clique-seeded extension c1.
+const (
+	SymmetryNone = symmetry.None
+	SymmetryB1   = symmetry.B1
+	SymmetryS1   = symmetry.S1
+	SymmetryC1   = symmetry.C1
+)
+
+// PaperEncodingNames lists the paper's 14 encodings (plus direct).
+var PaperEncodingNames = core.PaperEncodingNames
+
+// EncodingByName returns an encoding by its paper-style name, e.g.
+// "ITE-linear-2+muldirect".
+func EncodingByName(name string) (Encoding, error) { return core.ByName(name) }
+
+// NewSimple returns a simple encoding of the given kind.
+func NewSimple(kind Kind) Encoding { return core.NewSimple(kind) }
+
+// NewHierarchical composes partition levels with a leaf kind (Sect. 4
+// of the paper).
+func NewHierarchical(levels []Level, leaf Kind) (Encoding, error) {
+	return core.NewHierarchical(levels, leaf)
+}
+
+// NewITETree builds an encoding from an arbitrary ITE-tree shape
+// (Sect. 3). LinearShape and BalancedShape are predefined.
+func NewITETree(name string, shape TreeShape) Encoding { return core.NewITETree(name, shape) }
+
+// Predefined ITE-tree shapes.
+var (
+	LinearShape   = core.LinearShape
+	BalancedShape = core.BalancedShape
+)
+
+// ParseStrategy parses "encoding" or "encoding/heuristic".
+func ParseStrategy(spec string) (Strategy, error) { return core.ParseStrategy(spec) }
+
+// NewCSP builds a k-coloring CSP over g with full domains.
+func NewCSP(g *Graph, k int) *CSP { return core.NewCSP(g, k) }
+
+// EncodeCSP translates a CSP to CNF under an encoding.
+func EncodeCSP(csp *CSP, enc Encoding) *Encoded { return core.Encode(csp, enc) }
+
+// Generate builds a deterministic random placed netlist.
+func Generate(name string, p GenParams) (*Netlist, error) { return fpga.Generate(name, p) }
+
+// RouteGlobal computes a global routing with negotiated congestion.
+// The boolean reports whether the occupancy target was met.
+func RouteGlobal(nl *Netlist, opts RouteOptions) (*GlobalRouting, bool, error) {
+	return fpga.RouteGlobal(nl, opts)
+}
+
+// AssignTracks turns a conflict-graph coloring into a verified
+// detailed routing with w tracks.
+func AssignTracks(gr *GlobalRouting, colors []int, w int) (*DetailedRouting, error) {
+	return fpga.AssignTracks(gr, colors, w)
+}
+
+// Benchmarks returns the calibrated MCNC-style instances.
+func Benchmarks() []Instance { return mcnc.Instances() }
+
+// BenchmarkByName looks up one benchmark instance.
+func BenchmarkByName(name string) (Instance, error) { return mcnc.ByName(name) }
+
+// SolveCNF runs the CDCL solver on a formula; stop (optional) cancels.
+func SolveCNF(c *CNF, opts SolverOptions, stop <-chan struct{}) SolveResult {
+	return sat.SolveCNF(c, opts, stop)
+}
+
+// RunPortfolio solves the k-coloring of g with all strategies in
+// parallel, first definite answer wins (Sect. 6).
+func RunPortfolio(g *Graph, k int, strategies []Strategy, timeout time.Duration) (PortfolioResult, []PortfolioResult, error) {
+	return portfolio.Run(g, k, strategies, timeout)
+}
+
+// PaperPortfolio3 returns the paper's three-strategy portfolio.
+func PaperPortfolio3() []Strategy { return portfolio.PaperPortfolio3() }
+
+// VerifyColoring checks that colors is a proper k-coloring of g.
+func VerifyColoring(g *Graph, colors []int, k int) error {
+	return coloring.Verify(g, colors, k)
+}
+
+// DSATUR is the saturation-degree heuristic baseline: it returns a
+// proper coloring and the number of colors used (an upper bound on the
+// minimum channel width, with no optimality guarantee).
+func DSATUR(g *Graph) ([]int, int) { return coloring.DSATUR(g) }
+
+// WriteGraphDIMACS writes g in the DIMACS edge (.col) format.
+func WriteGraphDIMACS(w io.Writer, g *Graph, comments ...string) error {
+	return graph.WriteDIMACS(w, g, comments...)
+}
+
+// ParseGraphDIMACS reads a DIMACS edge-format graph.
+func ParseGraphDIMACS(r io.Reader) (*Graph, error) { return graph.ParseDIMACS(r) }
+
+// WriteCNFDIMACS writes a formula in DIMACS CNF format.
+func WriteCNFDIMACS(w io.Writer, c *CNF) error { return sat.WriteDIMACS(w, c) }
+
+// ParseCNFDIMACS reads a DIMACS CNF file.
+func ParseCNFDIMACS(r io.Reader) (*CNF, error) { return sat.ParseDIMACS(r) }
+
+// CheckDRAT verifies a DRAT unsatisfiability proof (produced via
+// SolverOptions.ProofWriter) against the original formula, returning
+// nil for a valid refutation — a machine-checkable unroutability
+// certificate.
+func CheckDRAT(c *CNF, proof io.Reader) error { return sat.CheckDRAT(c, proof) }
+
+// SimplifiedCNF is the result of preprocessing a formula; see
+// SimplifyCNF.
+type SimplifiedCNF = sat.Simplified
+
+// SimplifyCNF preprocesses a formula with unit propagation and
+// pure-literal elimination; Extend turns models of the reduced formula
+// back into models of the original.
+func SimplifyCNF(c *CNF) *SimplifiedCNF { return sat.Simplify(c) }

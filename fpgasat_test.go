@@ -1,0 +1,126 @@
+package fpgasat_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	fpgasat "fpgasat"
+)
+
+// TestPublicAPIEndToEnd drives the complete flow through the public
+// facade only: generate, route, encode, solve, decode, verify, prove
+// unroutability, and round-trip the DIMACS formats.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	netlist, err := fpgasat.Generate("api", fpgasat.GenParams{
+		Rows: 5, Cols: 5, NumNets: 20, MinPins: 2, MaxPins: 3, Locality: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, _, err := fpgasat.RouteGlobal(netlist, fpgasat.RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict := global.ConflictGraph()
+
+	// Heuristic upper bound, then SAT at that width.
+	_, ub := fpgasat.DSATUR(conflict)
+	strategy, err := fpgasat.ParseStrategy("ITE-linear-2+muldirect/s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := strategy.EncodeGraph(conflict, ub)
+	res := fpgasat.SolveCNF(enc.CNF, fpgasat.SolverOptions{}, nil)
+	if res.Status != fpgasat.Sat {
+		t.Fatalf("status %v at DSATUR bound", res.Status)
+	}
+	colors, err := enc.Decode(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fpgasat.VerifyColoring(conflict, colors, ub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fpgasat.AssignTracks(global, colors, ub); err != nil {
+		t.Fatal(err)
+	}
+
+	// DIMACS round trips.
+	var buf bytes.Buffer
+	if err := fpgasat.WriteGraphDIMACS(&buf, conflict, "api test"); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := fpgasat.ParseGraphDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != conflict.N() || g2.M() != conflict.M() {
+		t.Fatal("graph DIMACS roundtrip mismatch")
+	}
+	buf.Reset()
+	if err := fpgasat.WriteCNFDIMACS(&buf, enc.CNF); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fpgasat.ParseCNFDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIEncodings(t *testing.T) {
+	if len(fpgasat.PaperEncodingNames) != 15 {
+		t.Fatalf("%d paper encodings", len(fpgasat.PaperEncodingNames))
+	}
+	for _, name := range fpgasat.PaperEncodingNames {
+		if _, err := fpgasat.EncodingByName(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fpgasat.NewHierarchical([]fpgasat.Level{{Kind: fpgasat.KindITELog, Vars: 2}},
+		fpgasat.KindMuldirect); err != nil {
+		t.Fatal(err)
+	}
+	tree := fpgasat.NewITETree("bal", fpgasat.BalancedShape)
+	if !strings.Contains(tree.Name(), "bal") {
+		t.Fatal("tree name lost")
+	}
+	if fpgasat.NewSimple(fpgasat.KindLog).Name() != "log" {
+		t.Fatal("simple name wrong")
+	}
+}
+
+func TestPublicAPIBenchmarks(t *testing.T) {
+	if len(fpgasat.Benchmarks()) < 10 {
+		t.Fatal("too few benchmarks")
+	}
+	in, err := fpgasat.BenchmarkByName("term1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g, err := in.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	winner, _, err := fpgasat.RunPortfolio(g, in.RoutableW, fpgasat.PaperPortfolio3(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner.Status != fpgasat.Sat {
+		t.Fatalf("portfolio status %v", winner.Status)
+	}
+}
+
+func TestPublicAPICSP(t *testing.T) {
+	g, err := fpgasat.ParseGraphDIMACS(strings.NewReader(
+		"p edge 3 3\ne 1 2\ne 2 3\ne 1 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csp := fpgasat.NewCSP(g, 2)
+	enc := fpgasat.EncodeCSP(csp, fpgasat.NewSimple(fpgasat.KindMuldirect))
+	res := fpgasat.SolveCNF(enc.CNF, fpgasat.SolverOptions{}, nil)
+	if res.Status != fpgasat.Unsat {
+		t.Fatalf("triangle with 2 colors: %v", res.Status)
+	}
+}

@@ -1,0 +1,3 @@
+module fpgasat
+
+go 1.22

@@ -1,0 +1,217 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpgasat/internal/graph"
+)
+
+func TestVerify(t *testing.T) {
+	g := graph.Cycle(4)
+	if err := Verify(g, []int{0, 1, 0, 1}, 2); err != nil {
+		t.Fatalf("proper coloring rejected: %v", err)
+	}
+	if err := Verify(g, []int{0, 0, 1, 1}, 2); err == nil {
+		t.Fatal("improper coloring accepted")
+	}
+	if err := Verify(g, []int{0, 1, 0, 2}, 2); err == nil {
+		t.Fatal("out-of-range color accepted")
+	}
+	if err := Verify(g, []int{0, 1}, 2); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+}
+
+func TestGreedyProper(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		g := graph.Random(rng, 1+rng.Intn(40), rng.Float64())
+		colors, k := Greedy(g, nil)
+		if err := Verify(g, colors, k); err != nil {
+			t.Fatalf("greedy produced improper coloring: %v", err)
+		}
+		if k > g.MaxDegree()+1 {
+			t.Fatalf("greedy used %d colors, max degree %d", k, g.MaxDegree())
+		}
+	}
+}
+
+func TestDSATURProper(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		g := graph.Random(rng, 1+rng.Intn(40), rng.Float64())
+		colors, k := DSATUR(g)
+		if err := Verify(g, colors, k); err != nil {
+			t.Fatalf("DSATUR improper: %v", err)
+		}
+	}
+}
+
+func TestDSATURKnownGraphs(t *testing.T) {
+	if _, k := DSATUR(graph.Complete(5)); k != 5 {
+		t.Fatalf("DSATUR(K5) = %d", k)
+	}
+	if _, k := DSATUR(graph.Cycle(6)); k != 2 {
+		t.Fatalf("DSATUR(C6) = %d", k)
+	}
+	if _, k := DSATUR(graph.Cycle(7)); k != 3 {
+		t.Fatalf("DSATUR(C7) = %d", k)
+	}
+}
+
+func TestGreedyCliqueIsClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		g := graph.Random(rng, n, float64(pRaw)/255)
+		cl := GreedyClique(g)
+		for i := 0; i < len(cl); i++ {
+			for j := i + 1; j < len(cl); j++ {
+				if !g.HasEdge(cl[i], cl[j]) {
+					return false
+				}
+			}
+		}
+		return len(cl) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKColorableKnown(t *testing.T) {
+	k5 := graph.Complete(5)
+	if _, sat, done := KColorable(k5, 4, 0); sat || !done {
+		t.Fatal("K5 should not be 4-colorable")
+	}
+	if cols, sat, done := KColorable(k5, 5, 0); !sat || !done {
+		t.Fatal("K5 should be 5-colorable")
+	} else if err := Verify(k5, cols, 5); err != nil {
+		t.Fatal(err)
+	}
+	odd := graph.Cycle(9)
+	if _, sat, _ := KColorable(odd, 2, 0); sat {
+		t.Fatal("odd cycle 2-colorable?")
+	}
+	if _, sat, _ := KColorable(odd, 3, 0); !sat {
+		t.Fatal("odd cycle not 3-colorable?")
+	}
+}
+
+func TestKColorableEdgeCases(t *testing.T) {
+	empty := graph.New(0)
+	if _, sat, _ := KColorable(empty, 0, 0); !sat {
+		t.Fatal("empty graph should be 0-colorable")
+	}
+	one := graph.New(3)
+	if _, sat, _ := KColorable(one, 0, 0); sat {
+		t.Fatal("nonempty graph 0-colorable?")
+	}
+	if cols, sat, _ := KColorable(one, 1, 0); !sat || cols[0] != 0 {
+		t.Fatal("isolated vertices should be 1-colorable")
+	}
+	if _, sat, _ := KColorable(one, -1, 0); sat {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestKColorableBudget(t *testing.T) {
+	g := graph.Random(rand.New(rand.NewSource(8)), 40, 0.5)
+	_, _, done := KColorable(g, 5, 3)
+	if done {
+		t.Skip("instance solved within 3 nodes; budget path not exercised")
+	}
+}
+
+func TestChromaticNumberKnown(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{graph.Complete(6), 6},
+		{graph.Cycle(8), 2},
+		{graph.Cycle(9), 3},
+		{graph.New(5), 1},
+		{graph.New(0), 0},
+	}
+	for i, c := range cases {
+		got, ok := ChromaticNumber(c.g, 0)
+		if !ok || got != c.want {
+			t.Errorf("case %d: chi = %d (ok=%v), want %d", i, got, ok, c.want)
+		}
+	}
+}
+
+func TestChromaticNumberAgainstBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		g := graph.Random(rng, 4+rng.Intn(16), rng.Float64())
+		chi, ok := ChromaticNumber(g, 0)
+		if !ok {
+			t.Fatal("unbounded search exhausted")
+		}
+		lb := len(GreedyClique(g))
+		_, ub := DSATUR(g)
+		if chi < lb || chi > ub {
+			t.Fatalf("chi=%d outside [%d,%d]", chi, lb, ub)
+		}
+		cols, sat, _ := KColorable(g, chi, 0)
+		if !sat {
+			t.Fatalf("graph not colorable with its chromatic number %d", chi)
+		}
+		if err := Verify(g, cols, chi); err != nil {
+			t.Fatal(err)
+		}
+		if chi > 1 {
+			if _, sat, _ := KColorable(g, chi-1, 0); sat {
+				t.Fatalf("graph colorable with chi-1 = %d", chi-1)
+			}
+		}
+	}
+}
+
+func TestGreedyCustomOrder(t *testing.T) {
+	// Crown-graph-like example where natural order wastes colors but a
+	// good order doesn't: star K1,3 colored leaf-first still needs 2.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	colors, k := Greedy(g, []int{1, 2, 3, 0})
+	if err := Verify(g, colors, k); err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("star greedy used %d colors", k)
+	}
+	// Order must change results deterministically: center first also 2.
+	_, k2 := Greedy(g, []int{0, 1, 2, 3})
+	if k2 != 2 {
+		t.Fatalf("k2 = %d", k2)
+	}
+}
+
+func TestGreedyOrderIsPermutationSensitive(t *testing.T) {
+	// The classic bipartite trap: vertices 0-3, edges 0-3, 1-2 plus
+	// cross edges make interleaved order use 3 colors while sides-first
+	// uses 2.
+	g := graph.New(6)
+	// bipartite sides {0,2,4} and {1,3,5} minus a perfect matching
+	for i := 0; i < 6; i += 2 {
+		for j := 1; j < 6; j += 2 {
+			if j != i+1 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	_, kGood := Greedy(g, []int{0, 2, 4, 1, 3, 5})
+	_, kBad := Greedy(g, []int{0, 1, 2, 3, 4, 5})
+	if kGood != 2 {
+		t.Fatalf("sides-first used %d colors", kGood)
+	}
+	if kBad <= kGood {
+		t.Skipf("interleaved order happened to be good (k=%d)", kBad)
+	}
+}

@@ -1,0 +1,134 @@
+package coloring
+
+import "fpgasat/internal/graph"
+
+// KColorable decides by exhaustive branch-and-bound whether g admits a
+// proper coloring with k colors, returning the coloring when it does.
+// Vertices are branched in DSATUR order with symmetry breaking (a new
+// color may only be opened if it is the lowest unused one). maxNodes
+// bounds the search (0 = unlimited); the third return value is false if
+// the budget was exhausted before an answer was reached.
+func KColorable(g *graph.Graph, k int, maxNodes int64) ([]int, bool, bool) {
+	n := g.N()
+	if k < 0 {
+		return nil, false, true
+	}
+	if n == 0 {
+		return []int{}, true, true
+	}
+	if k == 0 {
+		return nil, false, true
+	}
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var nodes int64
+	type state struct{ exhausted bool }
+	st := &state{}
+
+	// satCount[v][c] = number of colored neighbors of v with color c.
+	satCount := make([][]int, n)
+	for i := range satCount {
+		satCount[i] = make([]int, k)
+	}
+	satDeg := make([]int, n) // number of distinct neighbor colors
+
+	var assign func(v, c, delta int)
+	assign = func(v, c, delta int) {
+		for _, u := range g.Neighbors(v) {
+			if colors[u] >= 0 {
+				continue
+			}
+			before := satCount[u][c] > 0
+			satCount[u][c] += delta
+			after := satCount[u][c] > 0
+			if !before && after {
+				satDeg[u]++
+			} else if before && !after {
+				satDeg[u]--
+			}
+		}
+	}
+
+	var solve func(colored, maxUsed int) bool
+	solve = func(colored, maxUsed int) bool {
+		if colored == n {
+			return true
+		}
+		nodes++
+		if maxNodes > 0 && nodes > maxNodes {
+			st.exhausted = true
+			return false
+		}
+		// DSATUR vertex selection.
+		best := -1
+		for v := 0; v < n; v++ {
+			if colors[v] >= 0 {
+				continue
+			}
+			if best < 0 || satDeg[v] > satDeg[best] ||
+				(satDeg[v] == satDeg[best] && g.Degree(v) > g.Degree(best)) {
+				best = v
+			}
+		}
+		// Try existing colors plus at most one fresh color.
+		limit := maxUsed + 1
+		if limit > k {
+			limit = k
+		}
+		for c := 0; c < limit; c++ {
+			if satCount[best][c] > 0 {
+				continue
+			}
+			colors[best] = c
+			assign(best, c, 1)
+			nextMax := maxUsed
+			if c == maxUsed {
+				nextMax++
+			}
+			if solve(colored+1, nextMax) {
+				return true
+			}
+			assign(best, c, -1)
+			colors[best] = -1
+			if st.exhausted {
+				return false
+			}
+		}
+		return false
+	}
+
+	if solve(0, 0) {
+		return colors, true, true
+	}
+	if st.exhausted {
+		return nil, false, false
+	}
+	return nil, false, true
+}
+
+// ChromaticNumber computes χ(g) exactly by binary refinement between
+// the clique lower bound and the DSATUR upper bound. maxNodes bounds
+// each k-colorability search; ok is false when a budget was exhausted
+// (the returned value is then the best-known upper bound).
+func ChromaticNumber(g *graph.Graph, maxNodes int64) (chi int, ok bool) {
+	if g.N() == 0 {
+		return 0, true
+	}
+	_, ub := DSATUR(g)
+	lb := len(GreedyClique(g))
+	if lb < 1 {
+		lb = 1
+	}
+	for k := ub - 1; k >= lb; k-- {
+		_, sat, done := KColorable(g, k, maxNodes)
+		if !done {
+			return k + 1, false
+		}
+		if !sat {
+			return k + 1, true
+		}
+	}
+	return lb, true
+}

@@ -1,0 +1,145 @@
+// Package core implements the paper's primary contribution: a family
+// of encodings that translate graph-coloring constraint-satisfaction
+// problems (CSPs) — and hence FPGA detailed routing problems — into
+// equivalent Boolean satisfiability problems.
+//
+// Each CSP variable (a vertex of the conflict graph, i.e. a 2-pin net)
+// ranges over a finite domain of colors (routing tracks). An encoding
+// assigns every domain value an "indexing Boolean pattern": a
+// conjunction (Cube) of literals over the Boolean variables introduced
+// for that CSP variable which is true exactly when (or, for multivalued
+// encodings, only when) the value is selected. Disequality constraints
+// between adjacent vertices then become conflict clauses — the negation
+// of the two patterns for each common value — and each encoding
+// contributes its own structural clauses (at-least-one, at-most-one,
+// excluded-illegal-values) as described in Table 1 of the paper.
+//
+// The package provides the 2 previously used encodings (log,
+// muldirect), the direct encoding they derive from, the ITE-tree
+// encodings of Sect. 3 (ITE-linear, ITE-log and arbitrary tree
+// shapes), and the hierarchical composition of Sect. 4 that builds the
+// remaining encodings such as ITE-linear-2+muldirect or direct-3+direct.
+package core
+
+import (
+	"fmt"
+
+	"fpgasat/internal/graph"
+)
+
+// Cube is an indexing Boolean pattern: a conjunction of literals in
+// DIMACS convention (positive int = variable true, negative =
+// variable false). The empty cube is the constant true and is used for
+// CSP variables whose domain was restricted to a single value.
+type Cube []int
+
+// Negate returns the clause ¬cube as a literal slice (De Morgan).
+func (c Cube) Negate() []int {
+	out := make([]int, len(c))
+	for i, l := range c {
+		out[i] = -l
+	}
+	return out
+}
+
+// Eval reports whether the cube holds under the model (model[v-1] is
+// the value of DIMACS variable v; variables beyond the model are
+// false).
+func (c Cube) Eval(model []bool) bool {
+	for _, l := range c {
+		v := abs(l)
+		val := v-1 < len(model) && model[v-1]
+		if (l > 0) != val {
+			return false
+		}
+	}
+	return true
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// CSP is a graph-coloring constraint-satisfaction problem: color the
+// vertices of G with colors drawn from per-vertex domains
+// {0,...,Domain[v]-1} so that adjacent vertices differ. K is the
+// number of colors (tracks); Domain[v] <= K always, and symmetry
+// breaking shrinks the domains of selected vertices.
+type CSP struct {
+	G      *graph.Graph
+	K      int
+	Domain []int
+}
+
+// NewCSP builds a CSP giving every vertex the full domain of k colors.
+// k must be at least 1 when the graph has vertices.
+func NewCSP(g *graph.Graph, k int) *CSP {
+	if k < 0 {
+		panic("core: negative color count")
+	}
+	dom := make([]int, g.N())
+	for i := range dom {
+		dom[i] = k
+	}
+	return &CSP{G: g, K: k, Domain: dom}
+}
+
+// RestrictDomain shrinks vertex v's domain to {0,...,size-1}. size must
+// be in [1, K].
+func (c *CSP) RestrictDomain(v, size int) {
+	if size < 1 || size > c.K {
+		panic(fmt.Sprintf("core: domain size %d outside [1,%d]", size, c.K))
+	}
+	c.Domain[v] = size
+}
+
+// ApplySequence applies a symmetry-breaking vertex sequence: the vertex
+// at 0-based position i is restricted to colors {0,...,i}, i.e. the
+// paper's "the i-th of them (1-based) has a color of less than i".
+func (c *CSP) ApplySequence(seq []int) {
+	for i, v := range seq {
+		size := i + 1
+		if size < c.Domain[v] {
+			c.RestrictDomain(v, size)
+		}
+	}
+}
+
+// Verify reports whether colors is a solution of the CSP (proper and
+// within every domain).
+func (c *CSP) Verify(colors []int) error {
+	if len(colors) != c.G.N() {
+		return fmt.Errorf("core: %d colors for %d vertices", len(colors), c.G.N())
+	}
+	for v, col := range colors {
+		if col < 0 || col >= c.Domain[v] {
+			return fmt.Errorf("core: vertex %d color %d outside domain [0,%d)", v, col, c.Domain[v])
+		}
+	}
+	for _, e := range c.G.Edges() {
+		if colors[e[0]] == colors[e[1]] {
+			return fmt.Errorf("core: edge {%d,%d} monochromatic", e[0], e[1])
+		}
+	}
+	return nil
+}
+
+// alloc hands out fresh DIMACS variable indices (1-based).
+type alloc struct{ next int }
+
+func newAlloc() *alloc { return &alloc{next: 1} }
+
+// block reserves n consecutive variables and returns their indices.
+func (a *alloc) block(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = a.next
+		a.next++
+	}
+	return out
+}
+
+func (a *alloc) count() int { return a.next - 1 }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"fpgasat/internal/sat"
+)
+
+// Encoded is the SAT translation of a coloring CSP under a particular
+// encoding: the CNF formula plus enough bookkeeping to decode a model
+// back into a CSP solution.
+type Encoded struct {
+	CNF      *sat.CNF
+	Encoding Encoding
+	CSP      *CSP
+	// Cubes[v][c] is the indexing Boolean pattern selecting color c for
+	// vertex v, for c < CSP.Domain[v].
+	Cubes [][]Cube
+
+	// Clause census, for the size ablation experiment.
+	StructuralClauses int
+	ConflictClauses   int
+}
+
+// Encode translates the CSP to CNF under the given encoding:
+// per-variable structural clauses first, then one conflict clause per
+// edge per common domain value (the negated pair of indexing
+// patterns).
+func Encode(csp *CSP, enc Encoding) *Encoded {
+	a := newAlloc()
+	cnf := &sat.CNF{}
+	cubes := make([][]Cube, csp.G.N())
+	structural := 0
+	for v := 0; v < csp.G.N(); v++ {
+		d := csp.Domain[v]
+		vc, clauses := enc.encodeVar(d, a)
+		if len(vc) != d {
+			panic(fmt.Sprintf("core: encoding %s produced %d cubes for domain %d",
+				enc.Name(), len(vc), d))
+		}
+		cubes[v] = vc
+		for _, cl := range clauses {
+			cnf.AddClause(cl...)
+		}
+		structural += len(clauses)
+	}
+	conflicts := 0
+	for _, e := range csp.G.Edges() {
+		u, v := e[0], e[1]
+		common := csp.Domain[u]
+		if csp.Domain[v] < common {
+			common = csp.Domain[v]
+		}
+		for c := 0; c < common; c++ {
+			cl := append(cubes[u][c].Negate(), cubes[v][c].Negate()...)
+			cnf.AddClause(cl...)
+			conflicts++
+		}
+	}
+	if cnf.NumVars < a.count() {
+		cnf.NumVars = a.count()
+	}
+	cnf.Comments = append(cnf.Comments,
+		fmt.Sprintf("encoding: %s", enc.Name()),
+		fmt.Sprintf("graph: %d vertices, %d edges, %d colors", csp.G.N(), csp.G.M(), csp.K),
+	)
+	return &Encoded{
+		CNF:               cnf,
+		Encoding:          enc,
+		CSP:               csp,
+		Cubes:             cubes,
+		StructuralClauses: structural,
+		ConflictClauses:   conflicts,
+	}
+}
+
+// DescribeVariable returns the indexing Boolean patterns an encoding
+// generates for a single CSP variable with domain {0..d-1}, together
+// with the number of Boolean variables it allocates. It is used by the
+// Figure 1 reproduction and by size ablations.
+func DescribeVariable(enc Encoding, d int) ([]Cube, int, error) {
+	if d < 1 {
+		return nil, 0, fmt.Errorf("core: domain size %d", d)
+	}
+	a := newAlloc()
+	cubes, _ := enc.encodeVar(d, a)
+	return cubes, a.count(), nil
+}
+
+// Decode maps a satisfying assignment back to a CSP solution. For
+// multivalued encodings several values may be selected; the smallest
+// is taken, which the conflict clauses guarantee is safe.
+func (e *Encoded) Decode(model []bool) ([]int, error) {
+	colors := make([]int, e.CSP.G.N())
+	for v := range colors {
+		colors[v] = -1
+		for c, cube := range e.Cubes[v] {
+			if cube.Eval(model) {
+				colors[v] = c
+				break
+			}
+		}
+		if colors[v] < 0 {
+			return nil, fmt.Errorf("core: no domain value selected for vertex %d under %s",
+				v, e.Encoding.Name())
+		}
+	}
+	return colors, nil
+}
+
+// Solve encodes nothing further: it runs the CDCL solver on the CNF
+// and, when satisfiable, decodes and verifies the coloring. The stop
+// channel (may be nil) cancels the solve when closed.
+func (e *Encoded) Solve(opts sat.Options, stop <-chan struct{}) (sat.Status, []int, error) {
+	res := sat.SolveCNF(e.CNF, opts, stop)
+	if res.Status != sat.Sat {
+		return res.Status, nil, nil
+	}
+	colors, err := e.Decode(res.Model)
+	if err != nil {
+		return res.Status, nil, err
+	}
+	if err := e.CSP.Verify(colors); err != nil {
+		return res.Status, nil, fmt.Errorf("core: decoded solution invalid: %w", err)
+	}
+	return sat.Sat, colors, nil
+}

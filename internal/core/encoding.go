@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Encoding translates the domain of one CSP variable into Boolean
+// variables, indexing Boolean patterns (cubes) and structural clauses.
+// Implementations are the simple encodings of Sect. 2–3 and the
+// hierarchical compositions of Sect. 4; construct them with
+// NewSimple, NewHierarchical, NewITETree or ByName.
+type Encoding interface {
+	// Name returns the paper's name for the encoding (e.g.
+	// "ITE-linear-2+muldirect").
+	Name() string
+	// encodeVar allocates Boolean variables for one CSP variable with
+	// domain {0..d-1} and returns the per-value cubes plus the
+	// encoding's structural clauses.
+	encodeVar(d int, a *alloc) ([]Cube, [][]int)
+	// Multivalued reports whether a satisfying assignment may select
+	// more than one domain value (no 1-to-1 SAT/CSP correspondence);
+	// decoding then takes any selected value.
+	Multivalued() bool
+}
+
+// simpleEncoding wraps a Kind as a standalone Encoding.
+type simpleEncoding struct{ kind Kind }
+
+// NewSimple returns the simple encoding of the given kind.
+func NewSimple(kind Kind) Encoding { return simpleEncoding{kind} }
+
+func (e simpleEncoding) Name() string { return e.kind.String() }
+
+func (e simpleEncoding) Multivalued() bool { return e.kind == KindMuldirect }
+
+func (e simpleEncoding) encodeVar(d int, a *alloc) ([]Cube, [][]int) {
+	vars := a.block(numVarsFor(e.kind, d))
+	return cubesFor(e.kind, d, vars), structuralFor(e.kind, d, vars)
+}
+
+// Level is one partition level of a hierarchical encoding: Kind
+// partitions the (sub)domain into subdomains using Vars Boolean
+// variables. With Vars=n, log and ITE-log produce up to 2^n
+// subdomains, ITE-linear up to n+1, direct and muldirect up to n —
+// matching the paper's naming, where "muldirect-3" is a first-level
+// muldirect encoding over 3 Boolean variables.
+type Level struct {
+	Kind Kind
+	Vars int
+}
+
+// hierEncoding composes partition levels with a leaf encoding, as in
+// Sect. 4. All subdomains at one level share that level's Boolean
+// variables; subdomains smaller than the largest one either use
+// smaller ITE trees (ITE kinds) or receive exclusion constraints
+// preventing the selection of non-existent values (log/direct/
+// muldirect kinds).
+type hierEncoding struct {
+	levels []Level
+	leaf   Kind
+}
+
+// NewHierarchical builds a hierarchical encoding from one or more
+// partition levels and a leaf kind applied to the final subdomains.
+func NewHierarchical(levels []Level, leaf Kind) (Encoding, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("core: hierarchical encoding needs at least one level")
+	}
+	for _, l := range levels {
+		if l.Vars < 1 {
+			return nil, fmt.Errorf("core: level %s has %d variables", l.Kind, l.Vars)
+		}
+	}
+	return hierEncoding{levels: levels, leaf: leaf}, nil
+}
+
+// MustHierarchical is NewHierarchical, panicking on error (for the
+// fixed paper encodings).
+func MustHierarchical(levels []Level, leaf Kind) Encoding {
+	e, err := NewHierarchical(levels, leaf)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (e hierEncoding) Name() string {
+	var sb strings.Builder
+	for _, l := range e.levels {
+		fmt.Fprintf(&sb, "%s-%d+", l.Kind, l.Vars)
+	}
+	sb.WriteString(e.leaf.String())
+	return sb.String()
+}
+
+func (e hierEncoding) Multivalued() bool {
+	if e.leaf == KindMuldirect {
+		return true
+	}
+	for _, l := range e.levels {
+		if l.Kind == KindMuldirect {
+			return true
+		}
+	}
+	return false
+}
+
+// subEncoding is the shared-variable encoding of one hierarchy suffix.
+// cubes(d) re-derives the value cubes for any domain size d <= maxSize
+// over the same variables, so that subdomains of different sizes at the
+// same level reuse one variable block.
+type subEncoding struct {
+	maxSize int
+	pureITE bool
+	cubes   func(d int) []Cube
+	clauses [][]int
+}
+
+// buildSub constructs the shared sub-encoding for the hierarchy suffix
+// (levels, leaf) over domains of size up to maxSize.
+func buildSub(levels []Level, leaf Kind, maxSize int, a *alloc) subEncoding {
+	if maxSize == 1 {
+		return subEncoding{
+			maxSize: 1,
+			pureITE: true,
+			cubes:   func(d int) []Cube { return []Cube{nil} },
+		}
+	}
+	if len(levels) == 0 {
+		vars := a.block(numVarsFor(leaf, maxSize))
+		return subEncoding{
+			maxSize: maxSize,
+			pureITE: leaf.isITE(),
+			cubes:   func(d int) []Cube { return cubesFor(leaf, d, vars) },
+			clauses: structuralFor(leaf, maxSize, vars),
+		}
+	}
+	level := levels[0]
+	gMax := groupCount(level, maxSize)
+	topVars := a.block(numVarsFor(level.Kind, gMax))
+	sizesMax := balancedSizes(maxSize, gMax)
+	sub := buildSub(levels[1:], leaf, sizesMax[0], a)
+
+	clauses := structuralFor(level.Kind, gMax, topVars)
+	clauses = append(clauses, sub.clauses...)
+	// Exclusion constraints: when the sub-encoding is not a pure ITE
+	// tree, forbid (group j selected AND non-existent index selected).
+	if !sub.pureITE {
+		topCubes := cubesFor(level.Kind, gMax, topVars)
+		subCubes := sub.cubes(sub.maxSize)
+		for j, sz := range sizesMax {
+			for t := sz; t < sub.maxSize; t++ {
+				cl := append(topCubes[j].Negate(), subCubes[t].Negate()...)
+				clauses = append(clauses, cl)
+			}
+		}
+	}
+
+	pure := level.Kind.isITE() && sub.pureITE
+	repartition := func(d int) []Cube {
+		g := groupCount(level, d)
+		sizes := balancedSizes(d, g)
+		topCubes := cubesFor(level.Kind, g, topVars)
+		out := make([]Cube, 0, d)
+		for j, sz := range sizes {
+			subCubes := sub.cubes(sz)
+			for t := 0; t < sz; t++ {
+				cube := append(append(Cube(nil), topCubes[j]...), subCubes[t]...)
+				out = append(out, cube)
+			}
+		}
+		return out
+	}
+	cubes := func(d int) []Cube {
+		if d == 1 {
+			return []Cube{nil}
+		}
+		// A pure-ITE suffix may be rebuilt as a genuinely smaller tree
+		// ("smaller versions of the ITE-trees", Sect. 4). A suffix with
+		// structural clauses must instead keep the max-size partition
+		// and take a prefix of its cube list, so that the exclusion
+		// constraints generated above remain consistent with the cubes
+		// used for smaller subdomains.
+		if d == maxSize || pure {
+			return repartition(d)
+		}
+		return repartition(maxSize)[:d]
+	}
+	return subEncoding{
+		maxSize: maxSize,
+		pureITE: pure,
+		cubes:   cubes,
+		clauses: clauses,
+	}
+}
+
+func (e hierEncoding) encodeVar(d int, a *alloc) ([]Cube, [][]int) {
+	sub := buildSub(e.levels, e.leaf, d, a)
+	return sub.cubes(d), sub.clauses
+}
+
+// groupCount returns the number of subdomains a level splits a domain
+// of size d into: the level's fan-out capacity, capped at d.
+func groupCount(l Level, d int) int {
+	g := capacity(l.Kind, l.Vars)
+	if g > d {
+		g = d
+	}
+	return g
+}
+
+// balancedSizes splits d domain values into g contiguous subdomains as
+// evenly as possible, larger subdomains first: with s = ceil(d/g),
+// the first d-(s-1)*g subdomains have size s and the rest s-1. For
+// d=13, g=4 this yields 4,3,3,3 — matching Fig. 1.d of the paper.
+func balancedSizes(d, g int) []int {
+	if g < 1 || g > d {
+		panic(fmt.Sprintf("core: cannot split %d values into %d groups", d, g))
+	}
+	s := (d + g - 1) / g
+	big := d - (s-1)*g
+	sizes := make([]int, g)
+	for i := range sizes {
+		if i < big {
+			sizes[i] = s
+		} else {
+			sizes[i] = s - 1
+		}
+	}
+	return sizes
+}
+
+// parseEncodingName parses paper-style names: a simple kind name, or
+// "<kind>-<vars>+<kind>-<vars>+...+<leafkind>".
+func parseEncodingName(name string) (Encoding, error) {
+	if k, ok := parseKind(name); ok {
+		return NewSimple(k), nil
+	}
+	parts := strings.Split(name, "+")
+	leaf, ok := parseKind(parts[len(parts)-1])
+	if !ok {
+		return nil, fmt.Errorf("core: unknown leaf encoding in %q", name)
+	}
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("core: unknown encoding %q", name)
+	}
+	var levels []Level
+	for _, p := range parts[:len(parts)-1] {
+		dash := strings.LastIndex(p, "-")
+		if dash < 0 {
+			return nil, fmt.Errorf("core: level %q in %q lacks a variable count", p, name)
+		}
+		kind, ok := parseKind(p[:dash])
+		if !ok {
+			return nil, fmt.Errorf("core: unknown level kind %q in %q", p[:dash], name)
+		}
+		n, err := strconv.Atoi(p[dash+1:])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("core: bad variable count %q in %q", p[dash+1:], name)
+		}
+		levels = append(levels, Level{Kind: kind, Vars: n})
+	}
+	return NewHierarchical(levels, leaf)
+}
+
+// ByName returns the encoding with the given paper-style name, e.g.
+// "muldirect", "ITE-log-2+ITE-linear" or "direct-3+muldirect".
+func ByName(name string) (Encoding, error) {
+	return parseEncodingName(name)
+}
+
+// PaperEncodingNames lists the 14 encodings of the paper in its order:
+// the 2 previously used ones (log, muldirect) preceded by direct, then
+// the 12 new encodings of Sect. 6.
+var PaperEncodingNames = []string{
+	"log",
+	"direct",
+	"muldirect",
+	"ITE-linear",
+	"ITE-log",
+	"ITE-log-1+ITE-linear",
+	"ITE-log-2+ITE-linear",
+	"ITE-log-2+direct",
+	"ITE-log-2+muldirect",
+	"ITE-linear-2+direct",
+	"ITE-linear-2+muldirect",
+	"direct-3+direct",
+	"direct-3+muldirect",
+	"muldirect-3+direct",
+	"muldirect-3+muldirect",
+}
+
+// PaperEncodings returns all encodings named in the paper.
+func PaperEncodings() []Encoding {
+	out := make([]Encoding, len(PaperEncodingNames))
+	for i, n := range PaperEncodingNames {
+		e, err := ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = e
+	}
+	return out
+}

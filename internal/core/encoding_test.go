@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"fpgasat/internal/graph"
+)
+
+func TestNumVarsFor(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		d    int
+		want int
+	}{
+		{KindLog, 1, 0}, {KindLog, 2, 1}, {KindLog, 3, 2}, {KindLog, 13, 4},
+		{KindITELog, 3, 2}, {KindITELog, 13, 4}, {KindITELog, 16, 4},
+		{KindDirect, 5, 5}, {KindMuldirect, 5, 5},
+		{KindITELinear, 13, 12}, {KindITELinear, 2, 1}, {KindITELinear, 1, 0},
+	}
+	for _, c := range cases {
+		if got := numVarsFor(c.kind, c.d); got != c.want {
+			t.Errorf("numVarsFor(%s,%d) = %d, want %d", c.kind, c.d, got, c.want)
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		n    int
+		want int
+	}{
+		{KindLog, 2, 4}, {KindITELog, 2, 4}, {KindITELog, 1, 2},
+		{KindDirect, 3, 3}, {KindMuldirect, 3, 3},
+		{KindITELinear, 2, 3}, {KindITELinear, 1, 2},
+	}
+	for _, c := range cases {
+		if got := capacity(c.kind, c.n); got != c.want {
+			t.Errorf("capacity(%s,%d) = %d, want %d", c.kind, c.n, got, c.want)
+		}
+	}
+}
+
+func cubeEq(a, b Cube) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestITELinearCubesMatchFig1a(t *testing.T) {
+	// Fig 1.a: value 0 selected by i0; value 1 by ¬i0∧i1; last value by
+	// all-negative.
+	vars := []int{1, 2, 3, 4}
+	cubes := cubesFor(KindITELinear, 5, vars)
+	want := []Cube{{1}, {-1, 2}, {-1, -2, 3}, {-1, -2, -3, 4}, {-1, -2, -3, -4}}
+	for i := range want {
+		if !cubeEq(cubes[i], want[i]) {
+			t.Errorf("value %d: cube %v, want %v", i, cubes[i], want[i])
+		}
+	}
+}
+
+func TestITELogCubesBalanced(t *testing.T) {
+	// 13 values need 4 variables; every cube has length 4 or 3.
+	vars := []int{1, 2, 3, 4}
+	cubes := cubesFor(KindITELog, 13, vars)
+	if len(cubes) != 13 {
+		t.Fatalf("%d cubes", len(cubes))
+	}
+	for i, c := range cubes {
+		if len(c) != 4 && len(c) != 3 {
+			t.Errorf("value %d cube length %d, want 3 or 4 (Fig 1.b)", i, len(c))
+		}
+	}
+	// Cubes must be pairwise contradictory (some variable with opposite
+	// signs), since an ITE tree selects exactly one leaf.
+	for i := 0; i < len(cubes); i++ {
+		for j := i + 1; j < len(cubes); j++ {
+			if !contradict(cubes[i], cubes[j]) {
+				t.Errorf("cubes %d and %d are simultaneously satisfiable", i, j)
+			}
+		}
+	}
+}
+
+func contradict(a, b Cube) bool {
+	for _, la := range a {
+		for _, lb := range b {
+			if la == -lb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestITELogGroupCubesMatchPaperExample(t *testing.T) {
+	// Sect. 4 example: ITE-log-2+ITE-linear over 13 values. The second
+	// group {v4,v5,v6} is selected by i0∧¬i1, and within it ITE-linear
+	// over shared variables i2,i3 gives v4 ← i2, v5 ← ¬i2∧i3,
+	// v6 ← ¬i2∧¬i3.
+	enc := MustHierarchical([]Level{{KindITELog, 2}}, KindITELinear)
+	a := newAlloc()
+	cubes, clauses := enc.encodeVar(13, a)
+	if len(clauses) != 0 {
+		t.Fatalf("pure ITE encoding emitted %d structural clauses", len(clauses))
+	}
+	// Variables: i0,i1 are 1,2 (top), i2,i3,i4 are 3,4,5 (shared leaf
+	// level sized for the largest subdomain, 4).
+	want := map[int]Cube{
+		4: {1, -2, 3},
+		5: {1, -2, -3, 4},
+		6: {1, -2, -3, -4},
+	}
+	for val, w := range want {
+		if !cubeEq(cubes[val], w) {
+			t.Errorf("v%d cube = %v, want %v", val, cubes[val], w)
+		}
+	}
+	if a.count() != 5 {
+		t.Errorf("allocated %d vars, want 5 (2 top + 3 shared)", a.count())
+	}
+}
+
+func TestBalancedSizes(t *testing.T) {
+	cases := []struct {
+		d, g int
+		want []int
+	}{
+		{13, 4, []int{4, 3, 3, 3}},
+		{13, 2, []int{7, 6}},
+		{6, 3, []int{2, 2, 2}},
+		{5, 3, []int{2, 2, 1}},
+		{4, 4, []int{1, 1, 1, 1}},
+	}
+	for _, c := range cases {
+		got := balancedSizes(c.d, c.g)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("balancedSizes(%d,%d) = %v, want %v", c.d, c.g, got, c.want)
+		}
+	}
+}
+
+func TestLogStructuralClauses(t *testing.T) {
+	// Domain 3 over 2 bits: the single illegal pattern 11 is excluded
+	// by (¬x1 ∨ ¬x2), as in Table 1.
+	vars := []int{1, 2}
+	cls := structuralFor(KindLog, 3, vars)
+	if len(cls) != 1 || fmt.Sprint(cls[0]) != "[-1 -2]" {
+		t.Fatalf("log structural clauses = %v, want [[-1 -2]]", cls)
+	}
+	// Power-of-two domains need no exclusions.
+	if cls := structuralFor(KindLog, 4, []int{1, 2}); len(cls) != 0 {
+		t.Fatalf("log(4) structural = %v, want none", cls)
+	}
+}
+
+func TestDirectStructuralClauses(t *testing.T) {
+	cls := structuralFor(KindDirect, 3, []int{1, 2, 3})
+	// 1 at-least-one + 3 at-most-one pairs.
+	if len(cls) != 4 {
+		t.Fatalf("direct(3) has %d clauses, want 4: %v", len(cls), cls)
+	}
+	mls := structuralFor(KindMuldirect, 3, []int{1, 2, 3})
+	if len(mls) != 1 || len(mls[0]) != 3 {
+		t.Fatalf("muldirect(3) = %v, want one ALO clause", mls)
+	}
+}
+
+func TestEncodingNamesRoundtrip(t *testing.T) {
+	for _, name := range PaperEncodingNames {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if e.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, e.Name())
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	for _, bad := range []string{"", "frob", "frob-2+direct", "direct-0+direct",
+		"direct-x+direct", "direct-2+frob", "ITE-linear+direct"} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMultivalued(t *testing.T) {
+	cases := map[string]bool{
+		"log":                    false,
+		"direct":                 false,
+		"muldirect":              true,
+		"ITE-linear":             false,
+		"ITE-log":                false,
+		"ITE-linear-2+direct":    false,
+		"ITE-linear-2+muldirect": true,
+		"muldirect-3+direct":     true,
+		"direct-3+muldirect":     true,
+	}
+	for name, want := range cases {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Multivalued() != want {
+			t.Errorf("%s.Multivalued() = %v, want %v", name, e.Multivalued(), want)
+		}
+	}
+}
+
+// enumerate all assignments over vars 1..n and count how many cubes of
+// the list are satisfied by each.
+func selectionCounts(t *testing.T, cubes []Cube, nvars int) (min, max int) {
+	t.Helper()
+	min, max = 1<<30, 0
+	for mask := 0; mask < 1<<uint(nvars); mask++ {
+		model := make([]bool, nvars)
+		for v := 0; v < nvars; v++ {
+			model[v] = mask&(1<<uint(v)) != 0
+		}
+		cnt := 0
+		for _, c := range cubes {
+			if c.Eval(model) {
+				cnt++
+			}
+		}
+		if cnt < min {
+			min = cnt
+		}
+		if cnt > max {
+			max = cnt
+		}
+	}
+	return min, max
+}
+
+func TestITEEncodingsSelectExactlyOneValue(t *testing.T) {
+	// The defining property of ITE-tree encodings (Sect. 3): every
+	// assignment to the indexing variables selects exactly one leaf, so
+	// no at-least-one or at-most-one clauses are needed.
+	encs := []Encoding{
+		NewSimple(KindITELinear),
+		NewSimple(KindITELog),
+		MustHierarchical([]Level{{KindITELog, 1}}, KindITELinear),
+		MustHierarchical([]Level{{KindITELog, 2}}, KindITELinear),
+		MustHierarchical([]Level{{KindITELinear, 2}}, KindITELinear),
+		NewITETree("tree-linear", LinearShape),
+		NewITETree("tree-balanced", BalancedShape),
+	}
+	for _, enc := range encs {
+		for d := 1; d <= 13; d++ {
+			a := newAlloc()
+			cubes, clauses := enc.encodeVar(d, a)
+			if len(clauses) != 0 {
+				t.Errorf("%s d=%d: %d structural clauses, want 0", enc.Name(), d, len(clauses))
+			}
+			min, max := selectionCounts(t, cubes, a.count())
+			if min != 1 || max != 1 {
+				t.Errorf("%s d=%d: selection counts [%d,%d], want exactly 1", enc.Name(), d, min, max)
+			}
+		}
+	}
+}
+
+func TestLogEncodingSelectsAtMostOne(t *testing.T) {
+	for d := 2; d <= 9; d++ {
+		a := newAlloc()
+		cubes, _ := NewSimple(KindLog).encodeVar(d, a)
+		_, max := selectionCounts(t, cubes, a.count())
+		if max != 1 {
+			t.Errorf("log d=%d: max selection %d, want 1", d, max)
+		}
+	}
+}
+
+func TestTreeShapeHelpers(t *testing.T) {
+	if n := LinearShape(7).Leaves(); n != 7 {
+		t.Errorf("LinearShape(7) has %d leaves", n)
+	}
+	if d := LinearShape(7).Depth(); d != 6 {
+		t.Errorf("LinearShape(7) depth %d, want 6", d)
+	}
+	if d := BalancedShape(13).Depth(); d != 4 {
+		t.Errorf("BalancedShape(13) depth %d, want 4", d)
+	}
+	bad := &TreeNode{Left: &TreeNode{}}
+	if err := bad.validate(); err == nil {
+		t.Error("single-child node validated")
+	}
+}
+
+func TestLinearTreeMatchesITELinear(t *testing.T) {
+	for d := 2; d <= 10; d++ {
+		a1, a2 := newAlloc(), newAlloc()
+		c1, _ := NewSimple(KindITELinear).encodeVar(d, a1)
+		c2, _ := NewITETree("lin", LinearShape).encodeVar(d, a2)
+		for i := range c1 {
+			if !cubeEq(c1[i], c2[i]) {
+				t.Fatalf("d=%d value %d: %v vs %v", d, i, c1[i], c2[i])
+			}
+		}
+	}
+}
+
+func TestCSPBasics(t *testing.T) {
+	g := graph.Cycle(4)
+	csp := NewCSP(g, 3)
+	if csp.Domain[2] != 3 {
+		t.Fatal("full domain expected")
+	}
+	csp.ApplySequence([]int{1, 3})
+	if csp.Domain[1] != 1 || csp.Domain[3] != 2 {
+		t.Fatalf("domains after sequence: %v", csp.Domain)
+	}
+	if err := csp.Verify([]int{1, 0, 1, 0}); err != nil {
+		t.Fatalf("valid solution rejected: %v", err)
+	}
+	if err := csp.Verify([]int{0, 0, 1, 0}); err == nil {
+		t.Fatal("monochromatic edge accepted")
+	}
+	if err := csp.Verify([]int{1, 0, 1, 2}); err == nil {
+		t.Fatal("out-of-domain color accepted")
+	}
+}
+
+func TestCubeNegateEval(t *testing.T) {
+	c := Cube{1, -2}
+	n := c.Negate()
+	if fmt.Sprint(n) != "[-1 2]" {
+		t.Fatalf("negate = %v", n)
+	}
+	if !c.Eval([]bool{true, false}) || c.Eval([]bool{true, true}) {
+		t.Fatal("Eval wrong")
+	}
+	if !Cube(nil).Eval(nil) {
+		t.Fatal("empty cube must be true")
+	}
+}
+
+func TestDeepHierarchyNameRoundtrip(t *testing.T) {
+	names := []string{
+		"ITE-log-1+ITE-linear-2+muldirect",
+		"muldirect-2+direct-2+log",
+		"log-2+ITE-log-1+ITE-linear",
+	}
+	for _, name := range names {
+		enc, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if enc.Name() != name {
+			t.Errorf("roundtrip: %q -> %q", name, enc.Name())
+		}
+		// Deep hierarchies must still encode sanely.
+		a := newAlloc()
+		cubes, _ := enc.encodeVar(9, a)
+		if len(cubes) != 9 {
+			t.Errorf("%s: %d cubes for domain 9", name, len(cubes))
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import "fmt"
+
+// mixedEncoding is the generalization the paper mentions but does not
+// evaluate (Sect. 4): "it is not required that all the subdomains at a
+// particular level of a hierarchical encoding be further divided ...
+// by using the same simple encoding". A mixed encoding partitions the
+// domain with a top level and then encodes each subdomain with its own
+// (possibly different) encoding.
+//
+// Unlike the homogeneous hierarchy, subdomains do not share Boolean
+// variables — each gets a private block — so no exclusion constraints
+// are needed: every group's structural clauses simply hold
+// unconditionally, which is sound because a value is selected only
+// when its group's cube holds as well.
+type mixedEncoding struct {
+	name string
+	top  Level
+	subs []Encoding // assigned to groups round-robin
+}
+
+// NewMixed builds a mixed hierarchical encoding: the top level
+// partitions the domain and group j is encoded with
+// subs[j mod len(subs)].
+func NewMixed(name string, top Level, subs []Encoding) (Encoding, error) {
+	if top.Vars < 1 {
+		return nil, fmt.Errorf("core: mixed top level needs at least 1 variable")
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("core: mixed encoding needs at least one subdomain encoding")
+	}
+	return mixedEncoding{name: name, top: top, subs: subs}, nil
+}
+
+// MustMixed is NewMixed, panicking on error.
+func MustMixed(name string, top Level, subs []Encoding) Encoding {
+	e, err := NewMixed(name, top, subs)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (e mixedEncoding) Name() string { return e.name }
+
+func (e mixedEncoding) Multivalued() bool {
+	if e.top.Kind == KindMuldirect {
+		return true
+	}
+	for _, s := range e.subs {
+		if s.Multivalued() {
+			return true
+		}
+	}
+	return false
+}
+
+func (e mixedEncoding) encodeVar(d int, a *alloc) ([]Cube, [][]int) {
+	if d == 1 {
+		return []Cube{nil}, nil
+	}
+	g := groupCount(e.top, d)
+	topVars := a.block(numVarsFor(e.top.Kind, g))
+	topCubes := cubesFor(e.top.Kind, g, topVars)
+	clauses := structuralFor(e.top.Kind, g, topVars)
+
+	sizes := balancedSizes(d, g)
+	cubes := make([]Cube, 0, d)
+	for j, sz := range sizes {
+		sub := e.subs[j%len(e.subs)]
+		subCubes, subClauses := sub.encodeVar(sz, a)
+		clauses = append(clauses, subClauses...)
+		for t := 0; t < sz; t++ {
+			cube := append(append(Cube(nil), topCubes[j]...), subCubes[t]...)
+			cubes = append(cubes, cube)
+		}
+	}
+	return cubes, clauses
+}

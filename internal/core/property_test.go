@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// enumerating assignments over n variables; f is called with each model.
+func forAllAssignments(n int, f func(model []bool)) {
+	model := make([]bool, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 0; v < n; v++ {
+			model[v] = mask&(1<<uint(v)) != 0
+		}
+		f(model)
+	}
+}
+
+func clausesSatisfied(clauses [][]int, model []bool) bool {
+	for _, cl := range clauses {
+		ok := false
+		for _, l := range cl {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			val := v-1 < len(model) && model[v-1]
+			if (l > 0) == val {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// randomEncodings builds a pool of random hierarchical encodings for
+// property testing, mixing every kind at every level.
+func randomEncodings(rng *rand.Rand, n int) []Encoding {
+	kinds := []Kind{KindLog, KindDirect, KindMuldirect, KindITELinear, KindITELog}
+	var out []Encoding
+	for len(out) < n {
+		depth := 1 + rng.Intn(2)
+		var levels []Level
+		for d := 0; d < depth; d++ {
+			levels = append(levels, Level{
+				Kind: kinds[rng.Intn(len(kinds))],
+				Vars: 1 + rng.Intn(3),
+			})
+		}
+		leaf := kinds[rng.Intn(len(kinds))]
+		if rng.Intn(4) == 0 {
+			out = append(out, NewSimple(leaf))
+			continue
+		}
+		enc, err := NewHierarchical(levels, leaf)
+		if err != nil {
+			continue
+		}
+		out = append(out, enc)
+	}
+	return out
+}
+
+// TestEncodingExistenceAndSoundness verifies, by exhaustive model
+// enumeration, the two semantic requirements of every encoding
+// (Sect. 3-4): under the structural clauses at least one value cube is
+// always satisfied (so decoding succeeds), and every value is
+// individually selectable (so no solution is lost).
+func TestEncodingExistenceAndSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	encs := append(randomEncodings(rng, 20), PaperEncodings()...)
+	for _, enc := range encs {
+		for d := 1; d <= 9; d++ {
+			a := newAlloc()
+			cubes, clauses := enc.encodeVar(d, a)
+			n := a.count()
+			if n > 14 {
+				continue // keep enumeration tractable
+			}
+			if len(cubes) != d {
+				t.Fatalf("%s d=%d: %d cubes", enc.Name(), d, len(cubes))
+			}
+			selectable := make([]bool, d)
+			forAllAssignments(n, func(model []bool) {
+				if !clausesSatisfied(clauses, model) {
+					return
+				}
+				selected := 0
+				for c, cube := range cubes {
+					if cube.Eval(model) {
+						selected++
+						selectable[c] = true
+					}
+				}
+				if selected == 0 {
+					t.Fatalf("%s d=%d: structurally valid assignment selects no value", enc.Name(), d)
+				}
+			})
+			for c, ok := range selectable {
+				if !ok {
+					t.Fatalf("%s d=%d: value %d is never selectable", enc.Name(), d, c)
+				}
+			}
+		}
+	}
+}
+
+// TestSingleValuedEncodingsNeverSelectTwo verifies the 1-to-1
+// correspondence claim for non-multivalued encodings: no structurally
+// valid assignment selects two distinct values.
+func TestSingleValuedEncodingsNeverSelectTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	encs := append(randomEncodings(rng, 20), PaperEncodings()...)
+	for _, enc := range encs {
+		if enc.Multivalued() {
+			continue
+		}
+		for d := 1; d <= 9; d++ {
+			a := newAlloc()
+			cubes, clauses := enc.encodeVar(d, a)
+			n := a.count()
+			if n > 14 {
+				continue
+			}
+			forAllAssignments(n, func(model []bool) {
+				if !clausesSatisfied(clauses, model) {
+					return
+				}
+				selected := 0
+				for _, cube := range cubes {
+					if cube.Eval(model) {
+						selected++
+					}
+				}
+				if selected > 1 {
+					t.Fatalf("%s d=%d: single-valued encoding selected %d values", enc.Name(), d, selected)
+				}
+			})
+		}
+	}
+}
+
+// TestDistinctCubesPerValue: two different values of one CSP variable
+// must never share an indexing pattern.
+func TestDistinctCubesPerValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	encs := append(randomEncodings(rng, 30), PaperEncodings()...)
+	for _, enc := range encs {
+		for d := 2; d <= 13; d++ {
+			a := newAlloc()
+			cubes, _ := enc.encodeVar(d, a)
+			seen := map[string]int{}
+			for c, cube := range cubes {
+				key := ""
+				for _, l := range cube {
+					key += string(rune(l)) + ","
+				}
+				if prev, dup := seen[key]; dup {
+					t.Fatalf("%s d=%d: values %d and %d share cube %v", enc.Name(), d, prev, c, cube)
+				}
+				seen[key] = c
+			}
+		}
+	}
+}
+
+// TestHierarchicalVariableSharing: the Boolean variables of one CSP
+// variable's encoding must be disjoint from another's (fresh blocks
+// per variable), while levels within one variable share blocks across
+// subdomains.
+func TestHierarchicalVariableSharing(t *testing.T) {
+	enc := MustHierarchical([]Level{{KindITELog, 2}}, KindITELinear)
+	a := newAlloc()
+	cubes1, _ := enc.encodeVar(13, a)
+	first := a.count()
+	cubes2, _ := enc.encodeVar(13, a)
+	if a.count() != 2*first {
+		t.Fatalf("second variable allocated %d vars, first %d", a.count()-first, first)
+	}
+	for _, cube := range cubes2 {
+		for _, l := range cube {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if v <= first {
+				t.Fatalf("second variable's cube %v reuses first variable's vars", cube)
+			}
+		}
+	}
+	_ = cubes1
+}

@@ -1,0 +1,216 @@
+package core
+
+import "fmt"
+
+// Kind identifies a simple (non-hierarchical) encoding, usable on its
+// own or as one level of a hierarchical encoding.
+type Kind int
+
+const (
+	// KindLog is the log encoding of Iwama and Miyazaki: ceil(log2 d)
+	// Boolean variables per CSP variable, full bit patterns as cubes,
+	// plus excluded-illegal-values clauses for unused patterns.
+	KindLog Kind = iota
+	// KindDirect is de Kleer's direct encoding: one Boolean variable
+	// per domain value with at-least-one and at-most-one clauses.
+	KindDirect
+	// KindMuldirect is the multivalued direct encoding of Selman et
+	// al.: the direct encoding without the at-most-one clauses.
+	KindMuldirect
+	// KindITELinear is the chain-shaped ITE-tree encoding (Fig. 1.a):
+	// d-1 indexing variables, no structural clauses.
+	KindITELinear
+	// KindITELog is the balanced ITE-tree encoding (Fig. 1.b):
+	// ceil(log2 d) indexing variables, no structural clauses, no
+	// illegal patterns by construction.
+	KindITELog
+)
+
+// String returns the paper's name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindLog:
+		return "log"
+	case KindDirect:
+		return "direct"
+	case KindMuldirect:
+		return "muldirect"
+	case KindITELinear:
+		return "ITE-linear"
+	case KindITELog:
+		return "ITE-log"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// parseKind recognizes the paper's names.
+func parseKind(s string) (Kind, bool) {
+	for _, k := range []Kind{KindLog, KindDirect, KindMuldirect, KindITELinear, KindITELog} {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// isITE reports whether the kind is an ITE-tree encoding, which needs
+// neither structural clauses nor exclusion constraints for smaller
+// subdomains (smaller ITE trees are used instead; Sect. 4).
+func (k Kind) isITE() bool { return k == KindITELinear || k == KindITELog }
+
+// ceilLog2 returns ceil(log2 n) for n >= 1.
+func ceilLog2(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// numVarsFor returns the number of Boolean variables kind needs to
+// index a domain of size d. A singleton domain never needs variables:
+// its only value is selected by the empty cube.
+func numVarsFor(k Kind, d int) int {
+	if d < 1 {
+		panic(fmt.Sprintf("core: domain size %d", d))
+	}
+	if d == 1 {
+		return 0
+	}
+	switch k {
+	case KindLog, KindITELog:
+		return ceilLog2(d)
+	case KindDirect, KindMuldirect:
+		return d
+	case KindITELinear:
+		return d - 1
+	}
+	panic("core: unknown kind")
+}
+
+// capacity returns how many domain values kind can index with n
+// Boolean variables (the subdomain fan-out when used as a hierarchy
+// level).
+func capacity(k Kind, n int) int {
+	if n < 1 {
+		panic("core: hierarchy level needs at least 1 variable")
+	}
+	switch k {
+	case KindLog, KindITELog:
+		if n >= 30 {
+			return 1 << 30
+		}
+		return 1 << uint(n)
+	case KindDirect, KindMuldirect:
+		return n
+	case KindITELinear:
+		return n + 1
+	}
+	panic("core: unknown kind")
+}
+
+// cubesFor returns the indexing Boolean pattern of every domain value
+// 0..d-1 over the given variable block. The block may be larger than
+// needed (shared second-level variables of a hierarchical encoding);
+// only a prefix is used, so cubes for a smaller domain are consistent
+// with cubes for a larger one over the same block.
+func cubesFor(k Kind, d int, vars []int) []Cube {
+	if d == 1 {
+		return []Cube{nil}
+	}
+	need := numVarsFor(k, d)
+	if len(vars) < need {
+		panic(fmt.Sprintf("core: %s with domain %d needs %d vars, got %d", k, d, need, len(vars)))
+	}
+	cubes := make([]Cube, d)
+	switch k {
+	case KindLog:
+		m := need
+		for c := 0; c < d; c++ {
+			cube := make(Cube, m)
+			for j := 0; j < m; j++ {
+				if c&(1<<uint(j)) != 0 {
+					cube[j] = vars[j]
+				} else {
+					cube[j] = -vars[j]
+				}
+			}
+			cubes[c] = cube
+		}
+	case KindDirect, KindMuldirect:
+		for c := 0; c < d; c++ {
+			cubes[c] = Cube{vars[c]}
+		}
+	case KindITELinear:
+		for c := 0; c < d; c++ {
+			var cube Cube
+			for j := 0; j < c && j < d-1; j++ {
+				cube = append(cube, -vars[j])
+			}
+			if c < d-1 {
+				cube = append(cube, vars[c])
+			}
+			cubes[c] = cube
+		}
+	case KindITELog:
+		// Balanced tree: a positive literal selects the first (larger)
+		// half, using one variable per depth level.
+		var walk func(lo, hi, depth int, prefix Cube)
+		walk = func(lo, hi, depth int, prefix Cube) {
+			if hi-lo == 1 {
+				cubes[lo] = append(Cube(nil), prefix...)
+				return
+			}
+			mid := lo + (hi-lo+1)/2
+			walk(lo, mid, depth+1, append(prefix, vars[depth]))
+			walk(mid, hi, depth+1, append(prefix[:len(prefix):len(prefix)], -vars[depth]))
+		}
+		walk(0, d, 0, nil)
+	default:
+		panic("core: unknown kind")
+	}
+	return cubes
+}
+
+// structuralFor returns kind's structural clauses for a domain of size
+// d over the variable block: at-least-one (direct, muldirect),
+// at-most-one (direct), excluded-illegal-values (log). ITE-tree
+// encodings have none — the tree structure guarantees exactly one leaf
+// is selected by every assignment.
+func structuralFor(k Kind, d int, vars []int) [][]int {
+	if d == 1 {
+		return nil
+	}
+	var out [][]int
+	switch k {
+	case KindLog:
+		m := numVarsFor(k, d)
+		for illegal := d; illegal < 1<<uint(m); illegal++ {
+			cl := make([]int, m)
+			for j := 0; j < m; j++ {
+				if illegal&(1<<uint(j)) != 0 {
+					cl[j] = -vars[j]
+				} else {
+					cl[j] = vars[j]
+				}
+			}
+			out = append(out, cl)
+		}
+	case KindDirect:
+		alo := make([]int, d)
+		copy(alo, vars[:d])
+		out = append(out, alo)
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				out = append(out, []int{-vars[i], -vars[j]})
+			}
+		}
+	case KindMuldirect:
+		alo := make([]int, d)
+		copy(alo, vars[:d])
+		out = append(out, alo)
+	case KindITELinear, KindITELog:
+		// none
+	}
+	return out
+}

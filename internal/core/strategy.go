@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fpgasat/internal/graph"
+	"fpgasat/internal/symmetry"
+)
+
+// Strategy pairs a SAT encoding with a symmetry-breaking heuristic —
+// the unit the paper compares in Table 2 and combines into portfolios.
+type Strategy struct {
+	Encoding Encoding
+	Symmetry symmetry.Heuristic
+}
+
+// Name returns "encoding/heuristic", with "-" for no symmetry breaking
+// (matching the dashes in Table 2).
+func (s Strategy) Name() string {
+	h := string(s.Symmetry)
+	if h == "" {
+		h = "-"
+	}
+	return s.Encoding.Name() + "/" + h
+}
+
+// ParseStrategy parses "encoding" or "encoding/heuristic".
+func ParseStrategy(spec string) (Strategy, error) {
+	encName, symName := spec, ""
+	if i := strings.LastIndex(spec, "/"); i >= 0 {
+		encName, symName = spec[:i], spec[i+1:]
+	}
+	enc, err := ByName(encName)
+	if err != nil {
+		return Strategy{}, err
+	}
+	h, err := symmetry.Parse(symName)
+	if err != nil {
+		return Strategy{}, err
+	}
+	return Strategy{Encoding: enc, Symmetry: h}, nil
+}
+
+// BuildCSP creates the k-coloring CSP for g with the symmetry-breaking
+// domain restrictions of h applied.
+func BuildCSP(g *graph.Graph, k int, h symmetry.Heuristic) *CSP {
+	csp := NewCSP(g, k)
+	csp.ApplySequence(symmetry.Sequence(g, k, h))
+	return csp
+}
+
+// EncodeGraph runs the full second translation step of the paper's
+// tool flow for one strategy: symmetry-break, then encode the coloring
+// CSP to CNF.
+func (s Strategy) EncodeGraph(g *graph.Graph, k int) *Encoded {
+	csp := BuildCSP(g, k, s.Symmetry)
+	enc := Encode(csp, s.Encoding)
+	enc.CNF.Comments = append(enc.CNF.Comments,
+		fmt.Sprintf("symmetry: %s", orDash(string(s.Symmetry))))
+	return enc
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fpgasat/internal/coloring"
+	"fpgasat/internal/mcnc"
+)
+
+// BaselinesResult contrasts the SAT flow with the one-net-at-a-time
+// approach of conventional FPGA detailed routers (the paper's
+// introduction: SAT "considers all nets simultaneously", while most
+// non-SAT routers commit to one net at a time). Assigning tracks one
+// 2-pin net at a time is exactly greedy coloring of the conflict
+// graph in some net order, so the baselines are order-driven greedy
+// variants plus DSATUR; the SAT flow achieves the exact minimum W by
+// construction (calibrated chromatic number).
+type BaselinesResult struct {
+	Rows []BaselineRow
+}
+
+// BaselineRow is one instance's comparison.
+type BaselineRow struct {
+	Instance    string
+	MinW        int // exact minimum channel width (SAT flow)
+	GreedyOrder int // greedy, netlist order
+	GreedyDeg   int // greedy, most-constrained (highest degree) first
+	DSATUR      int
+}
+
+// RunBaselines measures the channel width every baseline needs on
+// each instance.
+func RunBaselines(instances []mcnc.Instance) (*BaselinesResult, error) {
+	if instances == nil {
+		instances = mcnc.Table2Instances()
+	}
+	res := &BaselinesResult{}
+	for _, in := range instances {
+		_, g, err := in.Build()
+		if err != nil {
+			return nil, err
+		}
+		_, natural := coloring.Greedy(g, nil)
+
+		order := make([]int, g.N())
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if g.Degree(order[a]) != g.Degree(order[b]) {
+				return g.Degree(order[a]) > g.Degree(order[b])
+			}
+			return order[a] < order[b]
+		})
+		_, byDeg := coloring.Greedy(g, order)
+		_, dsatur := coloring.DSATUR(g)
+
+		res.Rows = append(res.Rows, BaselineRow{
+			Instance:    in.Name,
+			MinW:        in.RoutableW,
+			GreedyOrder: natural,
+			GreedyDeg:   byDeg,
+			DSATUR:      dsatur,
+		})
+	}
+	return res, nil
+}
+
+// ExcessTracks returns the total number of extra tracks each baseline
+// needs beyond the exact minimum, summed over instances.
+func (r *BaselinesResult) ExcessTracks() (greedyOrder, greedyDeg, dsatur int) {
+	for _, row := range r.Rows {
+		greedyOrder += row.GreedyOrder - row.MinW
+		greedyDeg += row.GreedyDeg - row.MinW
+		dsatur += row.DSATUR - row.MinW
+	}
+	return
+}
+
+// Markdown renders the comparison.
+func (r *BaselinesResult) Markdown() string {
+	var sb strings.Builder
+	sb.WriteString("### One-net-at-a-time baselines vs the SAT flow — channel width W needed\n\n")
+	sb.WriteString("Greedy track assignment in net order is what conventional routers do; ")
+	sb.WriteString("only the SAT flow both achieves and *proves* the minimum.\n\n")
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Instance,
+			fmt.Sprintf("**%d** (proven)", row.MinW),
+			markExcess(row.GreedyOrder, row.MinW),
+			markExcess(row.GreedyDeg, row.MinW),
+			markExcess(row.DSATUR, row.MinW),
+		})
+	}
+	go1, go2, go3 := r.ExcessTracks()
+	rows = append(rows, []string{"**Total excess tracks**", "0",
+		fmt.Sprintf("+%d", go1), fmt.Sprintf("+%d", go2), fmt.Sprintf("+%d", go3)})
+	sb.WriteString(markdownTable(
+		[]string{"Benchmark", "SAT flow", "greedy (net order)", "greedy (max degree)", "DSATUR"},
+		rows))
+	return sb.String()
+}
+
+func markExcess(got, min int) string {
+	if got == min {
+		return fmt.Sprintf("%d", got)
+	}
+	return fmt.Sprintf("%d (+%d)", got, got-min)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fpgasat/internal/core"
+)
+
+// Figure1 reproduces Fig. 1 of the paper: the indexing Boolean
+// patterns of the four ITE-tree encodings for a CSP variable with 13
+// domain values — rendered as the cube selecting each value, which
+// fully determines the tree (every cube is one root-to-leaf path).
+type Figure1 struct {
+	Encodings []Figure1Encoding
+}
+
+// Figure1Encoding is one sub-figure: the encoding name, its variable
+// count and the pattern of every domain value.
+type Figure1Encoding struct {
+	Name     string
+	NumVars  int
+	Patterns []string // Patterns[c] selects value v_c
+}
+
+// Fig1Domain is the domain size used by the paper's figure.
+const Fig1Domain = 13
+
+// RunFigure1 builds the four encodings of the figure.
+func RunFigure1() (*Figure1, error) {
+	names := []string{
+		"ITE-linear",
+		"ITE-log",
+		"ITE-log-1+ITE-linear",
+		"ITE-log-2+ITE-linear",
+	}
+	out := &Figure1{}
+	for _, n := range names {
+		enc, err := core.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		fe, err := describeEncoding(enc, Fig1Domain)
+		if err != nil {
+			return nil, err
+		}
+		out.Encodings = append(out.Encodings, fe)
+	}
+	return out, nil
+}
+
+// describeEncoding extracts the per-value patterns by encoding a
+// single isolated CSP variable.
+func describeEncoding(enc core.Encoding, d int) (Figure1Encoding, error) {
+	cubes, nvars, err := core.DescribeVariable(enc, d)
+	if err != nil {
+		return Figure1Encoding{}, err
+	}
+	fe := Figure1Encoding{Name: enc.Name(), NumVars: nvars}
+	for _, cube := range cubes {
+		fe.Patterns = append(fe.Patterns, renderCube(cube))
+	}
+	return fe, nil
+}
+
+func renderCube(c core.Cube) string {
+	if len(c) == 0 {
+		return "⊤"
+	}
+	parts := make([]string, len(c))
+	for i, l := range c {
+		if l > 0 {
+			parts[i] = fmt.Sprintf("i%d", l-1)
+		} else {
+			parts[i] = fmt.Sprintf("¬i%d", -l-1)
+		}
+	}
+	return strings.Join(parts, "∧")
+}
+
+// Markdown renders the figure as one table per encoding.
+func (f *Figure1) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### Figure 1 — ITE trees for a CSP variable with %d domain values\n\n", Fig1Domain)
+	sb.WriteString("Each row gives the indexing Boolean pattern (root-to-leaf path) selecting the value.\n\n")
+	for _, e := range f.Encodings {
+		fmt.Fprintf(&sb, "**%s** (%d indexing variables)\n\n", e.Name, e.NumVars)
+		rows := make([][]string, len(e.Patterns))
+		for c, p := range e.Patterns {
+			rows[c] = []string{fmt.Sprintf("v%d", c), p}
+		}
+		sb.WriteString(markdownTable([]string{"value", "selected when"}, rows))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fpgasat/internal/core"
+	"fpgasat/internal/mcnc"
+	"fpgasat/internal/sat"
+)
+
+// RoutableConfig controls the routable-configuration experiment
+// (Sect. 6: "most of the encodings had comparable and very efficient
+// performance when finding solutions for configurations that were
+// routable").
+type RoutableConfig struct {
+	Instances []mcnc.Instance // defaults to mcnc.Table2Instances()
+	Encodings []string        // defaults to all 14 paper encodings
+	Symmetry  string          // heuristic applied to every encoding ("", "b1", "s1")
+	Timeout   time.Duration
+	Progress  io.Writer
+}
+
+// RoutableResult is the grid of satisfiable-solve times.
+type RoutableResult struct {
+	Encodings []string
+	Instances []string
+	Times     [][]Timing // [instance][encoding]
+	Totals    []time.Duration
+	Symmetry  string
+}
+
+// RunRoutable solves every instance at its routable width W under
+// every encoding; all formulas are satisfiable and each decoded
+// routing is verified.
+func RunRoutable(cfg RoutableConfig) (*RoutableResult, error) {
+	if cfg.Instances == nil {
+		cfg.Instances = mcnc.Table2Instances()
+	}
+	if cfg.Encodings == nil {
+		cfg.Encodings = core.PaperEncodingNames
+	}
+	res := &RoutableResult{Encodings: cfg.Encodings, Symmetry: cfg.Symmetry}
+	res.Totals = make([]time.Duration, len(cfg.Encodings))
+	for _, in := range cfg.Instances {
+		g, translate, err := BuildInstance(in)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]Timing, len(cfg.Encodings))
+		for ei, encName := range cfg.Encodings {
+			spec := encName
+			if cfg.Symmetry != "" {
+				spec += "/" + cfg.Symmetry
+			}
+			s, err := core.ParseStrategy(spec)
+			if err != nil {
+				return nil, err
+			}
+			t := RunStrategy(g, in.RoutableW, s, translate, cfg.Timeout)
+			if t.Status == sat.Unsat {
+				return nil, fmt.Errorf("experiments: %s at W=%d claims unroutable; calibration broken",
+					in.Name, in.RoutableW)
+			}
+			row[ei] = t
+			res.Totals[ei] += t.Total()
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "%-10s W=%d %-28s %8.2fs %s\n",
+					in.Name, in.RoutableW, spec, t.Total().Seconds(), t.Status)
+			}
+		}
+		res.Instances = append(res.Instances, in.Name)
+		res.Times = append(res.Times, row)
+	}
+	return res, nil
+}
+
+// Markdown renders the grid with a totals row.
+func (r *RoutableResult) Markdown() string {
+	var sb strings.Builder
+	sym := r.Symmetry
+	if sym == "" {
+		sym = "no symmetry breaking"
+	} else {
+		sym = "symmetry heuristic " + sym
+	}
+	fmt.Fprintf(&sb, "### Routable configurations — total CPU time [s] finding a detailed routing at W (%s)\n\n", sym)
+	header := append([]string{"Benchmark"}, r.Encodings...)
+	var rows [][]string
+	for ii, name := range r.Instances {
+		row := []string{name}
+		for _, t := range r.Times[ii] {
+			row = append(row, fmtDur(t.Total(), t.Status == sat.Unknown))
+		}
+		rows = append(rows, row)
+	}
+	totalRow := []string{"**Total**"}
+	for _, t := range r.Totals {
+		totalRow = append(totalRow, fmtDur(t, false))
+	}
+	rows = append(rows, totalRow)
+	sb.WriteString(markdownTable(header, rows))
+	return sb.String()
+}
+
+// Spread returns max/min of the encoding totals — the paper's
+// "comparable performance" claim corresponds to a small spread.
+func (r *RoutableResult) Spread() float64 {
+	min, max := r.Totals[0], r.Totals[0]
+	for _, t := range r.Totals {
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	return max.Seconds() / min.Seconds()
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fpgasat/internal/mcnc"
+)
+
+// SymmetryAblationConfig controls the symmetry-heuristic ablation:
+// one fixed encoding run under no symmetry breaking, the paper's b1
+// and s1, and the clique-seeded extension c1.
+type SymmetryAblationConfig struct {
+	Instances []mcnc.Instance // defaults to mcnc.Table2Instances()
+	Encoding  string          // defaults to "ITE-linear-2+muldirect"
+	Timeout   time.Duration
+	Progress  progressWriter
+}
+
+type progressWriter interface{ Write([]byte) (int, error) }
+
+// RunSymmetryAblation reuses the Table 2 machinery with heuristic
+// columns instead of encoding columns.
+func RunSymmetryAblation(cfg SymmetryAblationConfig) (*Table2Result, error) {
+	if cfg.Encoding == "" {
+		cfg.Encoding = "ITE-linear-2+muldirect"
+	}
+	cols := []string{
+		cfg.Encoding + "/-",
+		cfg.Encoding + "/b1",
+		cfg.Encoding + "/s1",
+		cfg.Encoding + "/c1",
+	}
+	res, err := RunTable2(Table2Config{
+		Instances: cfg.Instances,
+		Columns:   cols,
+		Timeout:   cfg.Timeout,
+		Progress:  cfg.Progress,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: symmetry ablation: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fpgasat/internal/core"
+	"fpgasat/internal/mcnc"
+	"fpgasat/internal/sat"
+	"fpgasat/internal/symmetry"
+)
+
+// Table2Columns are the strategy columns of the paper's Table 2: the
+// better previously used encoding (muldirect) without and with both
+// symmetry-breaking heuristics, then the best 6 of the 12 new
+// encodings with b1 and s1.
+var Table2Columns = []string{
+	"muldirect/-",
+	"muldirect/b1",
+	"muldirect/s1",
+	"ITE-linear/b1",
+	"ITE-linear/s1",
+	"ITE-log/b1",
+	"ITE-log/s1",
+	"ITE-linear-2+direct/b1",
+	"ITE-linear-2+direct/s1",
+	"ITE-linear-2+muldirect/b1",
+	"ITE-linear-2+muldirect/s1",
+	"muldirect-3+muldirect/b1",
+	"muldirect-3+muldirect/s1",
+	"direct-3+muldirect/b1",
+	"direct-3+muldirect/s1",
+}
+
+// Table2Config controls the Table 2 run.
+type Table2Config struct {
+	Instances []mcnc.Instance // defaults to mcnc.Table2Instances()
+	Columns   []string        // defaults to Table2Columns
+	Timeout   time.Duration   // per solve; 0 means none
+	Progress  io.Writer       // optional live progress
+}
+
+// Table2Cell is one measurement.
+type Table2Cell struct {
+	Timing   Timing
+	TimedOut bool
+}
+
+// Table2Result holds the full grid plus totals and speedups, matching
+// the paper's layout.
+type Table2Result struct {
+	Columns   []string
+	Instances []string
+	Cells     [][]Table2Cell // [instance][column]
+	Totals    []time.Duration
+	AnyCapped []bool // column contains a timed-out cell
+	// Speedups[i] is Totals[baseline]/Totals[i]; the baseline is
+	// column 0, muldirect without symmetry breaking.
+	Speedups []float64
+}
+
+// RunTable2 reproduces Table 2: for every challenging instance, prove
+// the unroutability of the global routing with W-1 tracks under every
+// strategy column, reporting translate+encode+solve time.
+func RunTable2(cfg Table2Config) (*Table2Result, error) {
+	if cfg.Instances == nil {
+		cfg.Instances = mcnc.Table2Instances()
+	}
+	if cfg.Columns == nil {
+		cfg.Columns = Table2Columns
+	}
+	strategies := make([]core.Strategy, len(cfg.Columns))
+	for i, c := range cfg.Columns {
+		s, err := core.ParseStrategy(c)
+		if err != nil {
+			return nil, err
+		}
+		strategies[i] = s
+	}
+	res := &Table2Result{Columns: cfg.Columns}
+	res.Totals = make([]time.Duration, len(cfg.Columns))
+	res.AnyCapped = make([]bool, len(cfg.Columns))
+	for _, in := range cfg.Instances {
+		g, translate, err := BuildInstance(in)
+		if err != nil {
+			return nil, err
+		}
+		w := in.UnroutableW()
+		row := make([]Table2Cell, len(strategies))
+		for si, s := range strategies {
+			t := RunStrategy(g, w, s, translate, cfg.Timeout)
+			if t.Status == sat.Sat {
+				return nil, fmt.Errorf("experiments: %s at W=%d claims routable; calibration broken",
+					in.Name, w)
+			}
+			cell := Table2Cell{Timing: t, TimedOut: t.Status == sat.Unknown}
+			row[si] = cell
+			res.Totals[si] += t.Total()
+			if cell.TimedOut {
+				res.AnyCapped[si] = true
+			}
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "%-10s W=%d %-28s %8.2fs %s\n",
+					in.Name, w, s.Name(), t.Total().Seconds(), t.Status)
+			}
+		}
+		res.Instances = append(res.Instances, in.Name)
+		res.Cells = append(res.Cells, row)
+	}
+	res.Speedups = make([]float64, len(cfg.Columns))
+	base := res.Totals[0].Seconds()
+	for i, tot := range res.Totals {
+		if tot > 0 {
+			res.Speedups[i] = base / tot.Seconds()
+		}
+	}
+	return res, nil
+}
+
+// Best returns the column index with the smallest total.
+func (r *Table2Result) Best() int {
+	best := 0
+	for i, t := range r.Totals {
+		if t < r.Totals[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Markdown renders the grid in the paper's layout: one row per
+// benchmark, a totals row and a speedup row. Timed-out cells are
+// prefixed with ">" and make their column's total a lower bound.
+func (r *Table2Result) Markdown() string {
+	var sb strings.Builder
+	sb.WriteString("### Table 2 — total CPU time [s] proving unroutability at W-1 ")
+	sb.WriteString("(translation to graph coloring + translation to CNF + SAT solving)\n\n")
+	header := append([]string{"Benchmark"}, r.Columns...)
+	var rows [][]string
+	for ii, name := range r.Instances {
+		row := []string{name}
+		for _, c := range r.Cells[ii] {
+			row = append(row, fmtDur(c.Timing.Total(), c.TimedOut))
+		}
+		rows = append(rows, row)
+	}
+	totalRow := []string{"**Total**"}
+	for i, t := range r.Totals {
+		totalRow = append(totalRow, fmtDur(t, r.AnyCapped[i]))
+	}
+	rows = append(rows, totalRow)
+	speedRow := []string{fmt.Sprintf("**Speedup vs %s**", r.Columns[0])}
+	for i, s := range r.Speedups {
+		if i == 0 {
+			speedRow = append(speedRow, "1.00×")
+			continue
+		}
+		// Capped totals are lower bounds on the true time: a capped
+		// baseline makes the true speedup larger (≥), a capped column
+		// makes it smaller (≤), both capped is indeterminate (~).
+		mark := ""
+		switch {
+		case r.AnyCapped[0] && r.AnyCapped[i]:
+			mark = "~"
+		case r.AnyCapped[0]:
+			mark = "≥"
+		case r.AnyCapped[i]:
+			mark = "≤"
+		}
+		speedRow = append(speedRow, fmt.Sprintf("%s%.2f×", mark, s))
+	}
+	rows = append(rows, speedRow)
+	sb.WriteString(markdownTable(header, rows))
+	return sb.String()
+}
+
+// SymmetryWins summarises, per heuristic, on how many (instance,
+// encoding) pairs it beat the alternatives — the paper's observation
+// that each heuristic wins somewhere but s1 produces the greatest
+// speedups.
+func (r *Table2Result) SymmetryWins() map[symmetry.Heuristic]int {
+	wins := map[symmetry.Heuristic]int{}
+	// Group columns by encoding name.
+	type variant struct {
+		col int
+		h   symmetry.Heuristic
+	}
+	byEnc := map[string][]variant{}
+	for i, c := range r.Columns {
+		s, err := core.ParseStrategy(c)
+		if err != nil {
+			continue
+		}
+		byEnc[s.Encoding.Name()] = append(byEnc[s.Encoding.Name()], variant{i, s.Symmetry})
+	}
+	for ii := range r.Instances {
+		for _, vs := range byEnc {
+			if len(vs) < 2 {
+				continue
+			}
+			best := vs[0]
+			for _, v := range vs[1:] {
+				if r.Cells[ii][v.col].Timing.Total() < r.Cells[ii][best.col].Timing.Total() {
+					best = v
+				}
+			}
+			wins[best.h]++
+		}
+	}
+	return wins
+}

@@ -1,0 +1,97 @@
+package fpga
+
+import (
+	"fmt"
+
+	"fpgasat/internal/graph"
+)
+
+// ConflictGraph builds the coloring CSP graph of Sect. 2: one vertex
+// per 2-pin net, and an edge between two vertices whenever their
+// routes belong to different multi-pin nets and pass through a common
+// connection block (channel segment). A detailed routing with W tracks
+// exists if and only if this graph is W-colorable, because subset
+// switch blocks preserve the track along each 2-pin route.
+func (gr *GlobalRouting) ConflictGraph() *graph.Graph {
+	g := graph.New(len(gr.Routes))
+	g.Labels = make([]string, len(gr.Routes))
+	for i, r := range gr.Routes {
+		g.Labels[i] = r.Label(gr.Netlist)
+	}
+	// Bucket route indices by segment, then connect different-net
+	// pairs within each bucket. Exclusivity needs to be imposed only
+	// once per pair even when they share several connection blocks.
+	bySeg := make([][]int, gr.Netlist.Arch.NumSegs())
+	for ri, r := range gr.Routes {
+		seen := map[SegID]bool{}
+		for _, s := range r.Segs {
+			if !seen[s] {
+				seen[s] = true
+				bySeg[s] = append(bySeg[s], ri)
+			}
+		}
+	}
+	for _, routes := range bySeg {
+		for i := 0; i < len(routes); i++ {
+			for j := i + 1; j < len(routes); j++ {
+				a, b := gr.Routes[routes[i]], gr.Routes[routes[j]]
+				if a.Net != b.Net {
+					g.AddEdge(routes[i], routes[j])
+				}
+			}
+		}
+	}
+	return g
+}
+
+// DetailedRouting is a global routing plus a track assignment: 2-pin
+// net i runs on track Tracks[i] (the same track in every connection
+// block it crosses, thanks to subset switch blocks).
+type DetailedRouting struct {
+	Global *GlobalRouting
+	W      int
+	Tracks []int
+}
+
+// AssignTracks turns a coloring of the conflict graph into a detailed
+// routing with W tracks.
+func AssignTracks(gr *GlobalRouting, colors []int, w int) (*DetailedRouting, error) {
+	if len(colors) != len(gr.Routes) {
+		return nil, fmt.Errorf("fpga: %d colors for %d routes", len(colors), len(gr.Routes))
+	}
+	dr := &DetailedRouting{Global: gr, W: w, Tracks: append([]int(nil), colors...)}
+	if err := dr.Validate(); err != nil {
+		return nil, err
+	}
+	return dr, nil
+}
+
+// Validate checks the legality of the detailed routing: every track
+// index is within the channel width, and no connection block carries
+// two different multi-pin nets on the same track.
+func (dr *DetailedRouting) Validate() error {
+	gr := dr.Global
+	for i, t := range dr.Tracks {
+		if t < 0 || t >= dr.W {
+			return fmt.Errorf("fpga: route %d track %d outside [0,%d)", i, t, dr.W)
+		}
+	}
+	// seg -> track -> owning multi-pin net
+	type key struct {
+		seg   SegID
+		track int
+	}
+	owner := map[key]int{}
+	for ri, r := range gr.Routes {
+		for _, s := range r.Segs {
+			k := key{s, dr.Tracks[ri]}
+			if own, ok := owner[k]; ok && own != r.Net {
+				return fmt.Errorf("fpga: nets %s and %s both use track %d in connection block %s",
+					gr.Netlist.Nets[own].Name, gr.Netlist.Nets[r.Net].Name,
+					dr.Tracks[ri], gr.Netlist.Arch.SegName(s))
+			}
+			owner[k] = r.Net
+		}
+	}
+	return nil
+}

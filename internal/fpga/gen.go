@@ -1,0 +1,89 @@
+package fpga
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenParams controls the synthetic netlist generator that substitutes
+// for the MCNC benchmark circuits (see DESIGN.md). Generation is fully
+// deterministic for a given seed.
+type GenParams struct {
+	Rows, Cols int
+	NumNets    int
+	// Pin count per net is uniform in [MinPins, MaxPins] (including
+	// the source).
+	MinPins, MaxPins int
+	// Locality is the maximum Chebyshev distance between a net's
+	// source CLB and its sinks, mimicking the placement locality that
+	// real placers produce. 0 means unconstrained.
+	Locality int
+	Seed     int64
+}
+
+func (p GenParams) validate() error {
+	if p.Rows < 1 || p.Cols < 1 {
+		return fmt.Errorf("fpga: bad array %dx%d", p.Cols, p.Rows)
+	}
+	if p.NumNets < 0 {
+		return fmt.Errorf("fpga: negative net count")
+	}
+	if p.MinPins < 2 || p.MaxPins < p.MinPins {
+		return fmt.Errorf("fpga: bad pin range [%d,%d]", p.MinPins, p.MaxPins)
+	}
+	return nil
+}
+
+// Generate builds a random placed netlist with the given parameters.
+func Generate(name string, p GenParams) (*Netlist, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	arch := Arch{Rows: p.Rows, Cols: p.Cols}
+	nl := &Netlist{Name: name, Arch: arch}
+	for i := 0; i < p.NumNets; i++ {
+		pins := p.MinPins
+		if p.MaxPins > p.MinPins {
+			pins += rng.Intn(p.MaxPins - p.MinPins + 1)
+		}
+		srcX, srcY := rng.Intn(p.Cols), rng.Intn(p.Rows)
+		net := Net{
+			Name: fmt.Sprintf("n%d", i),
+			Pins: []Pin{{X: srcX, Y: srcY, Side: Side(rng.Intn(4))}},
+		}
+		for s := 1; s < pins; s++ {
+			x, y := srcX, srcY
+			// Resample until the sink is placed on a different CLB; a
+			// bounded number of tries keeps generation total even for
+			// 1x1 arrays, where self-placement is unavoidable.
+			for try := 0; try < 16; try++ {
+				if p.Locality > 0 {
+					x = clamp(srcX+rng.Intn(2*p.Locality+1)-p.Locality, 0, p.Cols-1)
+					y = clamp(srcY+rng.Intn(2*p.Locality+1)-p.Locality, 0, p.Rows-1)
+				} else {
+					x, y = rng.Intn(p.Cols), rng.Intn(p.Rows)
+				}
+				if x != srcX || y != srcY {
+					break
+				}
+			}
+			net.Pins = append(net.Pins, Pin{X: x, Y: y, Side: Side(rng.Intn(4))})
+		}
+		nl.Nets = append(nl.Nets, net)
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

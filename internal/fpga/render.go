@@ -1,0 +1,73 @@
+package fpga
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderOccupancy draws the FPGA array as ASCII art with per-channel-
+// segment occupancy (distinct nets), used by examples and debugging.
+// CLBs are boxes, horizontal channels run between CLB rows, vertical
+// channels between CLB columns; each segment shows its occupancy count
+// (dot for zero, '*' for 10 or more).
+//
+// The drawing is oriented with y growing upward (row Rows-1 printed
+// first), matching the coordinate system of Arch.
+func RenderOccupancy(gr *GlobalRouting) string {
+	arch := gr.Netlist.Arch
+	occ := gr.Occupancy()
+	glyph := func(s SegID) byte {
+		switch n := occ[s]; {
+		case n == 0:
+			return '.'
+		case n < 10:
+			return byte('0' + n)
+		default:
+			return '*'
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "array %dx%d, max congestion %d\n", arch.Cols, arch.Rows, gr.MaxCongestion())
+	// Top to bottom: horizontal channel y=Rows, then row Rows-1, etc.
+	for y := arch.Rows; y >= 0; y-- {
+		// Horizontal channel y.
+		sb.WriteString("  ")
+		for x := 0; x < arch.Cols; x++ {
+			sb.WriteString("+--")
+			sb.WriteByte(glyph(arch.HSeg(x, y)))
+			sb.WriteString("--")
+		}
+		sb.WriteString("+\n")
+		if y == 0 {
+			break
+		}
+		// CLB row y-1 with vertical channel segments at each x.
+		sb.WriteString("  ")
+		for x := 0; x <= arch.Cols; x++ {
+			sb.WriteByte(glyph(arch.VSeg(x, y-1)))
+			if x < arch.Cols {
+				sb.WriteString("[CLB]")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// RenderTracks lists the detailed routing as text: every 2-pin net
+// with its track and path.
+func RenderTracks(dr *DetailedRouting) string {
+	var sb strings.Builder
+	gr := dr.Global
+	arch := gr.Netlist.Arch
+	fmt.Fprintf(&sb, "detailed routing with W=%d tracks, %d 2-pin nets\n", dr.W, len(gr.Routes))
+	for i, r := range gr.Routes {
+		names := make([]string, len(r.Segs))
+		for j, s := range r.Segs {
+			names[j] = arch.SegName(s)
+		}
+		fmt.Fprintf(&sb, "  %-14s %v -> %v  track %d  via %s\n",
+			r.Label(gr.Netlist), r.Src, r.Dst, dr.Tracks[i], strings.Join(names, " "))
+	}
+	return sb.String()
+}

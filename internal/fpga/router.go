@@ -1,0 +1,235 @@
+package fpga
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// RouteOptions configure the negotiated-congestion global router.
+// The zero value selects reasonable defaults.
+type RouteOptions struct {
+	// Capacity is the per-segment net capacity the negotiation aims
+	// for. It only shapes the global routing; whether W tracks suffice
+	// is afterwards decided exactly by the SAT flow. Default 4.
+	Capacity int
+	// MaxIters bounds the rip-up-and-reroute iterations. Default 16.
+	MaxIters int
+	// PresFac is the initial present-congestion penalty factor,
+	// multiplied by PresGrowth each iteration. Defaults 0.5 and 1.6.
+	PresFac    float64
+	PresGrowth float64
+	// HistFac accumulates history cost on overused segments. Default 0.4.
+	HistFac float64
+}
+
+func (o RouteOptions) withDefaults() RouteOptions {
+	if o.Capacity == 0 {
+		o.Capacity = 4
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 16
+	}
+	if o.PresFac == 0 {
+		o.PresFac = 0.5
+	}
+	if o.PresGrowth == 0 {
+		o.PresGrowth = 1.6
+	}
+	if o.HistFac == 0 {
+		o.HistFac = 0.4
+	}
+	return o
+}
+
+// RouteGlobal produces a global routing of the netlist using
+// PathFinder-style negotiated congestion: every multi-pin net is
+// decomposed into source-to-sink 2-pin nets (as in Sect. 2 of the
+// paper), each routed by Dijkstra over the channel-segment graph with
+// congestion-dependent costs; overused segments become progressively
+// more expensive across rip-up iterations until the occupancy target
+// is met or iterations run out. The routing is deterministic.
+//
+// The second return value reports whether the occupancy target was
+// met; the routing is valid (connected, pin-anchored) either way.
+func RouteGlobal(nl *Netlist, opts RouteOptions) (*GlobalRouting, bool, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, false, err
+	}
+	opts = opts.withDefaults()
+	arch := nl.Arch
+	nSegs := arch.NumSegs()
+
+	// Precompute adjacency.
+	adj := make([][]SegID, nSegs)
+	for s := 0; s < nSegs; s++ {
+		adj[s] = arch.Adjacent(SegID(s))
+	}
+
+	hist := make([]float64, nSegs)
+	occ := make([]int, nSegs)           // distinct nets per segment
+	netSegs := make([]map[SegID]int, 0) // per net: segment -> use count
+	for range nl.Nets {
+		netSegs = append(netSegs, map[SegID]int{})
+	}
+	routes := make([][]SegID, 0) // one per (net, sink) in order
+	type routeKey struct{ net, sink int }
+	routeIdx := map[routeKey]int{}
+	for ni, net := range nl.Nets {
+		for si := range net.Pins[1:] {
+			routeIdx[routeKey{ni, si}] = len(routes)
+			routes = append(routes, nil)
+		}
+	}
+
+	addSeg := func(net int, s SegID) {
+		if netSegs[net][s] == 0 {
+			occ[s]++
+		}
+		netSegs[net][s]++
+	}
+	removeSeg := func(net int, s SegID) {
+		netSegs[net][s]--
+		if netSegs[net][s] == 0 {
+			delete(netSegs[net], s)
+			occ[s]--
+		}
+	}
+
+	presFac := opts.PresFac
+	converged := false
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		for ni, net := range nl.Nets {
+			for si, sink := range net.Pins[1:] {
+				ri := routeIdx[routeKey{ni, si}]
+				// Rip up the previous route of this subnet.
+				for _, s := range routes[ri] {
+					removeSeg(ni, s)
+				}
+				path := dijkstra(adj, arch.PinSeg(net.Pins[0]), arch.PinSeg(sink),
+					func(s SegID) float64 {
+						// Segments already used by this net are free:
+						// subnets of one net share tracks.
+						if netSegs[ni][s] > 0 {
+							return 0.01
+						}
+						cost := 1.0 + hist[s]
+						if over := occ[s] + 1 - opts.Capacity; over > 0 {
+							cost += presFac * float64(over)
+						}
+						return cost
+					})
+				routes[ri] = path
+				for _, s := range path {
+					addSeg(ni, s)
+				}
+			}
+		}
+		// Check overuse and update history costs.
+		over := false
+		for s := 0; s < nSegs; s++ {
+			if occ[s] > opts.Capacity {
+				over = true
+				hist[s] += opts.HistFac * float64(occ[s]-opts.Capacity)
+			}
+		}
+		if !over {
+			converged = true
+			break
+		}
+		presFac *= opts.PresGrowth
+	}
+
+	gr := &GlobalRouting{Netlist: nl}
+	for ni, net := range nl.Nets {
+		for si, sink := range net.Pins[1:] {
+			ri := routeIdx[routeKey{ni, si}]
+			gr.Routes = append(gr.Routes, TwoPinNet{
+				Net:   ni,
+				Index: si,
+				Src:   net.Pins[0],
+				Dst:   sink,
+				Segs:  routes[ri],
+			})
+		}
+	}
+	if err := gr.Validate(); err != nil {
+		return nil, false, fmt.Errorf("fpga: router produced invalid routing: %w", err)
+	}
+	return gr, converged, nil
+}
+
+// dijkstra finds a min-cost segment path from src to dst, where cost
+// is charged per segment entered (including src and dst). The segment
+// graph is connected, so a path always exists.
+func dijkstra(adj [][]SegID, src, dst SegID, cost func(SegID) float64) []SegID {
+	n := len(adj)
+	const inf = 1e18
+	dist := make([]float64, n)
+	prev := make([]SegID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	pq := &segHeap{}
+	dist[src] = cost(src)
+	heap.Push(pq, segDist{src, dist[src]})
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(segDist)
+		if done[cur.seg] {
+			continue
+		}
+		done[cur.seg] = true
+		if cur.seg == dst {
+			break
+		}
+		for _, nxt := range adj[cur.seg] {
+			if done[nxt] {
+				continue
+			}
+			nd := cur.dist + cost(nxt)
+			if nd < dist[nxt] {
+				dist[nxt] = nd
+				prev[nxt] = cur.seg
+				heap.Push(pq, segDist{nxt, nd})
+			}
+		}
+	}
+	// Reconstruct.
+	var rev []SegID
+	for s := dst; s != -1; s = prev[s] {
+		rev = append(rev, s)
+		if s == src {
+			break
+		}
+	}
+	path := make([]SegID, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path
+}
+
+type segDist struct {
+	seg  SegID
+	dist float64
+}
+
+type segHeap []segDist
+
+func (h segHeap) Len() int { return len(h) }
+func (h segHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].seg < h[j].seg
+}
+func (h segHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *segHeap) Push(x interface{}) { *h = append(*h, x.(segDist)) }
+func (h *segHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,165 @@
+// Package graph provides the undirected graphs that sit between the
+// FPGA detailed-routing front end and the CSP-to-SAT encoders: vertices
+// are 2-pin nets, edges are track-exclusivity constraints, and the
+// DIMACS edge ("p edge", .col) format is the interchange format the
+// paper's tool flow emits between its two translation steps.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph over vertices 0..N-1. Self-loops
+// are rejected (a 2-pin net cannot conflict with itself) and parallel
+// edges are merged.
+type Graph struct {
+	n   int
+	adj []map[int]struct{}
+	m   int
+
+	// Labels optionally names vertices (e.g. "net12.3" for the third
+	// 2-pin subnet of net 12). May be nil or shorter than n.
+	Labels []string
+}
+
+// New creates a graph with n isolated vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([]map[int]struct{}, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddVertex appends an isolated vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge inserts the undirected edge {u,v}. Adding an existing edge is
+// a no-op; self-loops panic since they would make the coloring CSP
+// trivially unsatisfiable by construction error.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	g.check(u)
+	g.check(v)
+	if g.adj[u] == nil {
+		g.adj[u] = make(map[int]struct{})
+	}
+	if _, dup := g.adj[u][v]; dup {
+		return
+	}
+	if g.adj[v] == nil {
+		g.adj[v] = make(map[int]struct{})
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.m++
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// Neighbors returns the sorted neighbor list of v.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all edges as ordered pairs (u < v), sorted.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// MaxDegree returns the largest vertex degree, 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// NeighborDegreeSum returns the sum of the degrees of v's neighbors,
+// the tie-breaking key used by the b1 and s1 symmetry heuristics.
+func (g *Graph) NeighborDegreeSum(v int) int {
+	g.check(v)
+	sum := 0
+	for u := range g.adj[v] {
+		sum += len(g.adj[u])
+	}
+	return sum
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	out := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				out.AddEdge(u, v)
+			}
+		}
+	}
+	if g.Labels != nil {
+		out.Labels = append([]string(nil), g.Labels...)
+	}
+	return out
+}
+
+// Label returns the label of v, or a numeric fallback.
+func (g *Graph) Label(v int) string {
+	if v < len(g.Labels) && g.Labels[v] != "" {
+		return g.Labels[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}

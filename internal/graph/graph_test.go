@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOperations(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 1) // duplicate merged
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d, want 4,2", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) || g.HasEdge(0, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(1), g.Degree(3))
+	}
+	nb := g.Neighbors(1)
+	if len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
+		t.Fatalf("Neighbors(1) = %v", nb)
+	}
+	if v := g.AddVertex(); v != 4 || g.N() != 5 {
+		t.Fatalf("AddVertex gave %d, N=%d", v, g.N())
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-loop")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range vertex")
+		}
+	}()
+	New(2).AddEdge(0, 5)
+}
+
+func TestEdgesSortedAndComplete(t *testing.T) {
+	g := New(5)
+	g.AddEdge(3, 1)
+	g.AddEdge(0, 4)
+	g.AddEdge(2, 0)
+	es := g.Edges()
+	want := [][2]int{{0, 2}, {0, 4}, {1, 3}}
+	if len(es) != len(want) {
+		t.Fatalf("edges = %v", es)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", es, want)
+		}
+	}
+}
+
+func TestMaxDegreeAndNeighborSum(t *testing.T) {
+	g := Complete(4)
+	if g.MaxDegree() != 3 {
+		t.Fatalf("K4 max degree = %d", g.MaxDegree())
+	}
+	if s := g.NeighborDegreeSum(0); s != 9 {
+		t.Fatalf("K4 neighbor degree sum = %d, want 9", s)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := Cycle(5)
+	g.Labels = []string{"a", "b"}
+	c := g.Clone()
+	c.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Fatal("clone shares adjacency")
+	}
+	if c.Label(0) != "a" || c.Label(4) != "v4" {
+		t.Fatalf("labels wrong: %q %q", c.Label(0), c.Label(4))
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	k := Complete(6)
+	if k.M() != 15 {
+		t.Fatalf("K6 edges = %d", k.M())
+	}
+	c := Cycle(7)
+	if c.M() != 7 || c.MaxDegree() != 2 {
+		t.Fatalf("C7: M=%d maxdeg=%d", c.M(), c.MaxDegree())
+	}
+	rng := rand.New(rand.NewSource(1))
+	e := Random(rng, 30, 0)
+	if e.M() != 0 {
+		t.Fatal("G(n,0) has edges")
+	}
+	f := Random(rng, 30, 1)
+	if f.M() != 30*29/2 {
+		t.Fatalf("G(n,1) edges = %d", f.M())
+	}
+}
+
+func TestDIMACSRoundtripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		p := float64(pRaw) / 255
+		g := Random(rng, n, p)
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, g, "test graph"); err != nil {
+			return false
+		}
+		h, err := ParseDIMACS(&buf)
+		if err != nil {
+			return false
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			return false
+		}
+		ge, he := g.Edges(), h.Edges()
+		for i := range ge {
+			if ge[i] != he[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"e 1 2\n",                  // edge before header
+		"p edge x 1\n",             // bad count
+		"p foo 2 1\n",              // wrong format
+		"p edge 2 1\ne 1 3\n",      // vertex out of range
+		"p edge 2 1\ne 1 1\n",      // self loop
+		"p edge 2 1\ne 1\n",        // malformed edge
+		"p edge 2 1\nz 1 2\n",      // unknown line
+		"p edge 2 1\np edge 2 1\n", // duplicate header
+		"",                         // missing header
+	}
+	for _, in := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestParseDIMACSSkipsNLines(t *testing.T) {
+	in := "c hello\np edge 3 1\nn 1 5\ne 1 2\n"
+	g, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 1 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestNeighborDegreeSumProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		g := Random(rng, 2+rng.Intn(20), rng.Float64())
+		for v := 0; v < g.N(); v++ {
+			sum := 0
+			for _, u := range g.Neighbors(v) {
+				sum += g.Degree(u)
+			}
+			if got := g.NeighborDegreeSum(v); got != sum {
+				t.Fatalf("vertex %d: NeighborDegreeSum=%d, manual=%d", v, got, sum)
+			}
+		}
+	}
+}
+
+func TestParseDIMACSNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	alphabet := []byte("pe col dge0123456789 -\nc")
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(80)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		// Must not panic; errors are fine.
+		ParseDIMACS(bytes.NewReader(buf))
+	}
+}
+
+type limitedWriter struct{ left int }
+
+func (w *limitedWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, errShort
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+var errShort = fmt.Errorf("simulated short write")
+
+func TestWriteDIMACSPropagatesErrors(t *testing.T) {
+	g := Complete(20)
+	if err := WriteDIMACS(&limitedWriter{left: 10}, g, "header comment"); err == nil {
+		t.Fatal("short write not reported")
+	}
+}

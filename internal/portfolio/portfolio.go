@@ -1,0 +1,128 @@
+// Package portfolio runs several (encoding, symmetry-heuristic)
+// strategies on the same detailed-routing problem in parallel and
+// returns the first answer, cancelling the rest — the multicore
+// portfolio approach of the paper's Sect. 6. Each strategy runs in its
+// own goroutine with its own solver; the SAT solvers poll a shared
+// stop channel so losers terminate promptly once a winner reports.
+package portfolio
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fpgasat/internal/core"
+	"fpgasat/internal/graph"
+	"fpgasat/internal/sat"
+)
+
+// Result is the outcome of one strategy within a portfolio run.
+type Result struct {
+	Strategy core.Strategy
+	Status   sat.Status
+	Colors   []int // decoded coloring for Sat results from the winner
+	Elapsed  time.Duration
+	Winner   bool
+	Err      error
+}
+
+// Run solves the k-coloring of g with all strategies concurrently.
+// The first strategy to reach Sat or Unsat wins and the others are
+// cancelled (they report Unknown). A zero timeout means no timeout.
+// It returns the winning result and the per-strategy results in input
+// order. An error is returned only if no strategy produced an answer.
+func Run(g *graph.Graph, k int, strategies []core.Strategy, timeout time.Duration) (Result, []Result, error) {
+	if len(strategies) == 0 {
+		return Result{}, nil, fmt.Errorf("portfolio: no strategies")
+	}
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+	defer cancel()
+
+	var timer *time.Timer
+	if timeout > 0 {
+		timer = time.AfterFunc(timeout, cancel)
+		defer timer.Stop()
+	}
+
+	results := make([]Result, len(strategies))
+	var wg sync.WaitGroup
+	for i, s := range strategies {
+		wg.Add(1)
+		go func(i int, s core.Strategy) {
+			defer wg.Done()
+			start := time.Now()
+			enc := s.EncodeGraph(g, k)
+			st, colors, err := enc.Solve(sat.Options{}, stop)
+			results[i] = Result{
+				Strategy: s,
+				Status:   st,
+				Colors:   colors,
+				Elapsed:  time.Since(start),
+				Err:      err,
+			}
+			if st != sat.Unknown && err == nil {
+				cancel() // first definite answer terminates the rest
+			}
+		}(i, s)
+	}
+	wg.Wait()
+
+	// The winner is the strategy with a definite answer that finished
+	// first.
+	winner := -1
+	for i, r := range results {
+		if r.Err != nil || r.Status == sat.Unknown {
+			continue
+		}
+		if winner < 0 || r.Elapsed < results[winner].Elapsed {
+			winner = i
+		}
+	}
+	if winner < 0 {
+		for _, r := range results {
+			if r.Err != nil {
+				return Result{}, results, fmt.Errorf("portfolio: strategy %s failed: %w",
+					r.Strategy.Name(), r.Err)
+			}
+		}
+		return Result{}, results, fmt.Errorf("portfolio: no strategy answered within the timeout")
+	}
+	results[winner].Winner = true
+	return results[winner], results, nil
+}
+
+// Strategies parses a list of strategy specs ("encoding/heuristic").
+func Strategies(specs ...string) ([]core.Strategy, error) {
+	out := make([]core.Strategy, len(specs))
+	for i, s := range specs {
+		st, err := core.ParseStrategy(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// PaperPortfolio3 returns the paper's three-strategy portfolio:
+// ITE-linear-2+muldirect/s1, muldirect-3+muldirect/s1 and
+// ITE-linear-2+direct/s1.
+func PaperPortfolio3() []core.Strategy {
+	ss, err := Strategies(
+		"ITE-linear-2+muldirect/s1",
+		"muldirect-3+muldirect/s1",
+		"ITE-linear-2+direct/s1",
+	)
+	if err != nil {
+		panic(err)
+	}
+	return ss
+}
+
+// PaperPortfolio2 returns the paper's two-strategy portfolio (the
+// first two members of PaperPortfolio3).
+func PaperPortfolio2() []core.Strategy {
+	return PaperPortfolio3()[:2]
+}

@@ -1,0 +1,114 @@
+package portfolio
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fpgasat/internal/coloring"
+	"fpgasat/internal/core"
+	"fpgasat/internal/graph"
+	"fpgasat/internal/sat"
+)
+
+func TestRunAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	strategies := PaperPortfolio3()
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(rng, 6+rng.Intn(10), 0.4+rng.Float64()*0.4)
+		k := 2 + rng.Intn(4)
+		_, want, _ := coloring.KColorable(g, k, 0)
+		winner, all, err := Run(g, k, strategies, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (winner.Status == sat.Sat) != want {
+			t.Fatalf("trial %d: portfolio says %v, exact says sat=%v", trial, winner.Status, want)
+		}
+		if want {
+			if err := coloring.Verify(g, winner.Colors, k); err != nil {
+				t.Fatalf("winner coloring invalid: %v", err)
+			}
+		}
+		winners := 0
+		for _, r := range all {
+			if r.Winner {
+				winners++
+			}
+		}
+		if winners != 1 {
+			t.Fatalf("%d winners", winners)
+		}
+	}
+}
+
+func TestRunCancelsLosers(t *testing.T) {
+	// A hard instance: losers must report Unknown quickly after the
+	// winner returns, rather than running to completion.
+	g := graph.Complete(8)
+	strategies, err := Strategies("ITE-log/s1", "muldirect/-", "direct/-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	winner, all, err := Run(g, 7, strategies, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner.Status != sat.Unsat {
+		t.Fatalf("K8 with 7 colors: %v", winner.Status)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("portfolio did not cancel losers in reasonable time")
+	}
+	for _, r := range all {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Strategy.Name(), r.Err)
+		}
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	// With an absurdly small timeout on a nontrivial instance, no
+	// strategy can answer.
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Random(rng, 120, 0.5)
+	if _, _, err := Run(g, 9, PaperPortfolio2(), time.Microsecond); err == nil {
+		t.Skip("instance solved within a microsecond; timeout path not exercised")
+	}
+}
+
+func TestRunEmptyStrategies(t *testing.T) {
+	if _, _, err := Run(graph.New(1), 1, nil, 0); err == nil {
+		t.Fatal("empty portfolio accepted")
+	}
+}
+
+func TestStrategiesParse(t *testing.T) {
+	ss, err := Strategies("muldirect/s1", "log/b1")
+	if err != nil || len(ss) != 2 {
+		t.Fatalf("%v %v", ss, err)
+	}
+	if _, err := Strategies("bogus/s1"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestPaperPortfolios(t *testing.T) {
+	p3 := PaperPortfolio3()
+	if len(p3) != 3 || p3[0].Name() != "ITE-linear-2+muldirect/s1" ||
+		p3[1].Name() != "muldirect-3+muldirect/s1" || p3[2].Name() != "ITE-linear-2+direct/s1" {
+		t.Fatalf("portfolio 3 = %v", names(p3))
+	}
+	if len(PaperPortfolio2()) != 2 {
+		t.Fatal("portfolio 2 size")
+	}
+}
+
+func names(ss []core.Strategy) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name()
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+package sat
+
+// BruteForce decides satisfiability by exhaustive enumeration. It is a
+// reference oracle for tests and only practical for roughly 25
+// variables or fewer; it returns Unknown beyond 30 to avoid accidental
+// exponential blow-ups in test code.
+func BruteForce(c *CNF) (Status, []bool) {
+	n := c.NumVars
+	if n > 30 {
+		return Unknown, nil
+	}
+	model := make([]bool, n)
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		for v := 0; v < n; v++ {
+			model[v] = mask&(1<<uint(v)) != 0
+		}
+		if c.Eval(model) {
+			out := make([]bool, n)
+			copy(out, model)
+			return Sat, out
+		}
+	}
+	return Unsat, nil
+}

@@ -1,0 +1,138 @@
+package sat
+
+import "fmt"
+
+// CNF is a formula in conjunctive normal form with literals in DIMACS
+// convention: variables are 1-based, a negative integer is a negated
+// literal, and 0 never appears inside a clause. CNF is the interchange
+// type between the encoders in package core and this solver.
+type CNF struct {
+	NumVars int
+	Clauses [][]int
+	// Comments are emitted at the top of DIMACS output; encoders use
+	// them to record the encoding, symmetry heuristic and source graph.
+	Comments []string
+}
+
+// AddClause appends a clause. The slice is retained; callers must not
+// reuse it.
+func (c *CNF) AddClause(lits ...int) {
+	for _, l := range lits {
+		if l == 0 {
+			panic("sat: literal 0 in clause")
+		}
+		if v := abs(l); v > c.NumVars {
+			c.NumVars = v
+		}
+	}
+	c.Clauses = append(c.Clauses, lits)
+}
+
+// NumClauses returns the number of clauses.
+func (c *CNF) NumClauses() int { return len(c.Clauses) }
+
+// NumLiterals returns the total literal count over all clauses.
+func (c *CNF) NumLiterals() int {
+	n := 0
+	for _, cl := range c.Clauses {
+		n += len(cl)
+	}
+	return n
+}
+
+// Validate checks structural well-formedness (no zero literals, all
+// variables within NumVars, no empty header mismatch).
+func (c *CNF) Validate() error {
+	for i, cl := range c.Clauses {
+		for _, l := range cl {
+			if l == 0 {
+				return fmt.Errorf("sat: clause %d contains literal 0", i)
+			}
+			if abs(l) > c.NumVars {
+				return fmt.Errorf("sat: clause %d literal %d exceeds NumVars=%d", i, l, c.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Load adds all clauses of the formula to the solver, creating the
+// variables first so that variable numbering matches the DIMACS file
+// (DIMACS variable i is solver Var(i-1)).
+func (s *Solver) Load(c *CNF) bool {
+	for s.NumVars() < c.NumVars {
+		s.NewVar()
+	}
+	for _, cl := range c.Clauses {
+		if !s.AddDimacsClause(cl...) {
+			return false
+		}
+	}
+	return true
+}
+
+// Result bundles the outcome of SolveCNF.
+type Result struct {
+	Status Status
+	// Model, for Sat results, maps DIMACS variable v (1-based) to
+	// Model[v-1].
+	Model []bool
+	Stats Stats
+}
+
+// SolveCNF is a convenience wrapper: load the formula into a fresh
+// solver with the given options and solve it. The stop channel, when
+// non-nil, cancels the solve when closed (used by portfolio runs).
+func SolveCNF(c *CNF, opts Options, stop <-chan struct{}) Result {
+	s := New(opts)
+	if !s.Load(c) {
+		return Result{Status: Unsat, Stats: s.Stats}
+	}
+	if stop != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-stop:
+				s.Stop()
+			case <-done:
+			}
+		}()
+	}
+	st := s.Solve()
+	res := Result{Status: st, Stats: s.Stats}
+	if st == Sat {
+		m := s.Model()
+		res.Model = make([]bool, c.NumVars)
+		copy(res.Model, m)
+	}
+	return res
+}
+
+// Eval reports whether assignment (1-based indexing into model as in
+// Result.Model) satisfies the formula. Variables beyond len(model) are
+// treated as false.
+func (c *CNF) Eval(model []bool) bool {
+	for _, cl := range c.Clauses {
+		sat := false
+		for _, l := range cl {
+			v := abs(l)
+			val := v-1 < len(model) && model[v-1]
+			if (l > 0) == val {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}

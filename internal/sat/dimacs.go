@@ -1,0 +1,110 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDIMACS writes the formula in DIMACS CNF format, including any
+// comments stored on the CNF.
+func WriteDIMACS(w io.Writer, c *CNF) error {
+	bw := bufio.NewWriter(w)
+	for _, cm := range c.Comments {
+		if _, err := fmt.Fprintf(bw, "c %s\n", cm); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", c.NumVars, len(c.Clauses)); err != nil {
+		return err
+	}
+	for _, cl := range c.Clauses {
+		for _, l := range cl {
+			if _, err := bw.WriteString(strconv.Itoa(l)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseDIMACS reads a DIMACS CNF file. It tolerates comment lines
+// anywhere, clauses spanning multiple lines, and a missing final
+// terminator on the last clause. Literal counts exceeding the header
+// are accepted (NumVars grows); fewer clauses than declared is an
+// error.
+func ParseDIMACS(r io.Reader) (*CNF, error) {
+	cnf := &CNF{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	declaredClauses := -1
+	headerSeen := false
+	var cur []int
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		switch text[0] {
+		case 'c':
+			cnf.Comments = append(cnf.Comments, strings.TrimSpace(strings.TrimPrefix(text, "c")))
+			continue
+		case 'p':
+			if headerSeen {
+				return nil, fmt.Errorf("sat: line %d: duplicate DIMACS header", line)
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: malformed header %q", line, text)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			nc, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("sat: line %d: malformed header %q", line, text)
+			}
+			cnf.NumVars = nv
+			declaredClauses = nc
+			headerSeen = true
+			continue
+		}
+		if !headerSeen {
+			return nil, fmt.Errorf("sat: line %d: clause before header", line)
+		}
+		for _, f := range strings.Fields(text) {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", line, f)
+			}
+			if v == 0 {
+				lits := make([]int, len(cur))
+				copy(lits, cur)
+				cnf.AddClause(lits...)
+				cur = cur[:0]
+				continue
+			}
+			cur = append(cur, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		lits := make([]int, len(cur))
+		copy(lits, cur)
+		cnf.AddClause(lits...)
+	}
+	if declaredClauses >= 0 && len(cnf.Clauses) < declaredClauses {
+		return nil, fmt.Errorf("sat: header declares %d clauses, found %d", declaredClauses, len(cnf.Clauses))
+	}
+	return cnf, nil
+}

@@ -1,0 +1,93 @@
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// checkInvariants verifies structural solver invariants at decision
+// level 0: every stored clause is watched on exactly its first two
+// literals, watch lists reference live clauses, and the trail is
+// consistent with the assignment.
+func (s *Solver) checkInvariants() error {
+	if s.decisionLevel() != 0 {
+		return fmt.Errorf("invariants checked above level 0")
+	}
+	all := map[*clause]bool{}
+	for _, c := range s.clauses {
+		all[c] = true
+	}
+	for _, c := range s.learnts {
+		all[c] = true
+	}
+	watched := map[*clause]int{}
+	for l := range s.watches {
+		for _, w := range s.watches[l] {
+			if !all[w.c] {
+				return fmt.Errorf("watch list references removed clause")
+			}
+			watched[w.c]++
+			if w.c.lits[0] != Lit(l) && w.c.lits[1] != Lit(l) {
+				return fmt.Errorf("clause watched on a non-watch literal")
+			}
+		}
+	}
+	for c := range all {
+		if len(c.lits) < 2 {
+			return fmt.Errorf("stored clause with %d literals", len(c.lits))
+		}
+		if watched[c] != 2 {
+			return fmt.Errorf("clause watched %d times, want 2", watched[c])
+		}
+	}
+	for i, l := range s.trail {
+		if s.value(l) != lTrue {
+			return fmt.Errorf("trail[%d] not true under assignment", i)
+		}
+	}
+	if s.qhead > len(s.trail) {
+		return fmt.Errorf("qhead %d beyond trail %d", s.qhead, len(s.trail))
+	}
+	return nil
+}
+
+func TestInvariantsAfterSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 40; trial++ {
+		s := New(Options{})
+		cnf := randomCNF(rng, 10+rng.Intn(30), 60+rng.Intn(120), 3)
+		if s.Load(cnf) {
+			s.Solve()
+		}
+		if err := s.checkInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestInvariantsAfterBudgetedSolve(t *testing.T) {
+	// Interrupted searches (restart path, reduceDB path) must leave the
+	// solver structurally sound too.
+	s := New(Options{ConflictBudget: 400})
+	s.Load(php(10, 9))
+	if st := s.Solve(); st != Unknown {
+		t.Skipf("instance solved within budget: %v", st)
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsAfterReduceDB(t *testing.T) {
+	// Force learnt-clause deletion by solving something conflict-heavy,
+	// then check structure. PHP(9,8) generates thousands of conflicts.
+	s := New(Options{})
+	s.Load(php(9, 8))
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v", st)
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

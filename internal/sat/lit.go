@@ -1,0 +1,109 @@
+// Package sat implements a conflict-driven clause-learning (CDCL)
+// Boolean satisfiability solver in the MiniSat family, together with
+// DIMACS CNF input/output and a small reference solver used by tests.
+//
+// The solver provides the substrate the paper relied on external tools
+// (siege_v4, MiniSat) for: deciding satisfiability of the CNF formulas
+// produced by the CSP-to-SAT encodings in package core. It supports
+// cooperative cancellation so that portfolio runs (package portfolio)
+// can stop losing strategies as soon as one strategy answers.
+package sat
+
+import "fmt"
+
+// Var is a 0-based propositional variable index.
+type Var int32
+
+// Lit is a literal: a variable together with a sign. The encoding is
+// the usual MiniSat one, Lit = Var*2 + sign, where sign 1 means the
+// negated literal. The zero value is the positive literal of variable 0;
+// LitUndef is a sentinel that never denotes a real literal.
+type Lit int32
+
+// LitUndef is a sentinel literal used internally to mean "no literal".
+const LitUndef Lit = -1
+
+// MkLit constructs the literal for v, negated when neg is true.
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1) | 1 }
+
+// Var returns the variable underlying l.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Sign reports whether l is a negated literal.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Neg returns the complement of l.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Dimacs returns the DIMACS integer form of l: 1-based variable index,
+// negative when the literal is negated.
+func (l Lit) Dimacs() int {
+	v := int(l.Var()) + 1
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+// LitFromDimacs converts a non-zero DIMACS integer to a Lit.
+// It panics on 0, which DIMACS reserves as the clause terminator.
+func LitFromDimacs(d int) Lit {
+	if d == 0 {
+		panic("sat: DIMACS literal 0")
+	}
+	if d < 0 {
+		return NegLit(Var(-d - 1))
+	}
+	return PosLit(Var(d - 1))
+}
+
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "undef"
+	}
+	return fmt.Sprintf("%d", l.Dimacs())
+}
+
+// Truth values used on the trail. lUndef must be the zero value so that
+// freshly grown assignment slices start out unassigned.
+const (
+	lUndef int8 = 0
+	lTrue  int8 = 1
+	lFalse int8 = -1
+)
+
+// Status is the result of a Solve call.
+type Status int
+
+const (
+	// Unknown means the solver gave up before reaching an answer
+	// (cancellation or conflict budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found; see Solver.Model.
+	Sat
+	// Unsat means the formula was proved unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SATISFIABLE"
+	case Unsat:
+		return "UNSATISFIABLE"
+	default:
+		return "UNKNOWN"
+	}
+}

@@ -1,0 +1,113 @@
+package sat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLitBasics(t *testing.T) {
+	v := Var(7)
+	p, n := PosLit(v), NegLit(v)
+	if p.Var() != v || n.Var() != v {
+		t.Fatalf("Var roundtrip failed: %v %v", p.Var(), n.Var())
+	}
+	if p.Sign() || !n.Sign() {
+		t.Fatalf("Sign wrong: pos=%v neg=%v", p.Sign(), n.Sign())
+	}
+	if p.Neg() != n || n.Neg() != p {
+		t.Fatalf("Neg not involutive")
+	}
+	if MkLit(v, false) != p || MkLit(v, true) != n {
+		t.Fatalf("MkLit mismatch")
+	}
+	if p.Dimacs() != 8 || n.Dimacs() != -8 {
+		t.Fatalf("Dimacs: got %d %d", p.Dimacs(), n.Dimacs())
+	}
+}
+
+func TestLitDimacsRoundtrip(t *testing.T) {
+	f := func(d int16) bool {
+		if d == 0 {
+			return true
+		}
+		return LitFromDimacs(int(d)).Dimacs() == int(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLitFromDimacsZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for DIMACS literal 0")
+		}
+	}()
+	LitFromDimacs(0)
+}
+
+func TestNegIsComplement(t *testing.T) {
+	f := func(raw uint16, sign bool) bool {
+		l := MkLit(Var(raw), sign)
+		return l.Neg().Var() == l.Var() && l.Neg().Sign() != l.Sign()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{Sat: "SATISFIABLE", Unsat: "UNSATISFIABLE", Unknown: "UNKNOWN"}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("Status(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	// The Luby sequence with y=2: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+	want := []float64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(2, int64(i)); got != w {
+			t.Errorf("luby(2,%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestVarHeapOrdering(t *testing.T) {
+	act := []float64{3, 1, 4, 1.5, 9, 2.6}
+	h := newVarHeap(&act)
+	for v := range act {
+		h.insert(Var(v))
+	}
+	var got []Var
+	for !h.empty() {
+		got = append(got, h.removeMin())
+	}
+	want := []Var{4, 2, 0, 5, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heap order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVarHeapDecrease(t *testing.T) {
+	act := []float64{1, 2, 3}
+	h := newVarHeap(&act)
+	for v := range act {
+		h.insert(Var(v))
+	}
+	act[0] = 100
+	h.decrease(0)
+	if v := h.removeMin(); v != 0 {
+		t.Fatalf("after bump, removeMin = %v, want 0", v)
+	}
+	// Reinsert an already-present variable must be a no-op.
+	h.insert(1)
+	h.insert(1)
+	if n := len(h.heap); n != 2 {
+		t.Fatalf("duplicate insert grew heap to %d", n)
+	}
+}

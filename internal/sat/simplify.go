@@ -1,0 +1,151 @@
+package sat
+
+import "fmt"
+
+// Simplified is the result of preprocessing a CNF formula: the reduced
+// formula plus enough bookkeeping to extend any of its models to a
+// model of the original formula.
+type Simplified struct {
+	// CNF is the reduced formula (same variable numbering; eliminated
+	// variables simply no longer occur).
+	CNF *CNF
+	// Status is Unsat when preprocessing already refuted the formula,
+	// Sat when it satisfied every clause, Unknown otherwise.
+	Status Status
+	// Fixed maps DIMACS variables to values forced by unit propagation
+	// or chosen for pure literals.
+	Fixed map[int]bool
+	// Stats.
+	UnitRounds, PureRounds int
+}
+
+// Simplify preprocesses a formula with unit propagation and
+// pure-literal elimination to fixpoint. The input is not modified.
+// Solving Simplify(f).CNF is equisatisfiable with f, and Extend turns
+// any model of the reduced formula into a model of f.
+func Simplify(input *CNF) *Simplified {
+	res := &Simplified{Fixed: map[int]bool{}, Status: Unknown}
+	clauses := make([][]int, 0, len(input.Clauses))
+	for _, cl := range input.Clauses {
+		clauses = append(clauses, cl)
+	}
+	valueOf := func(l int) (bool, bool) { // (value, known)
+		v, ok := res.Fixed[abs(l)]
+		if !ok {
+			return false, false
+		}
+		return v == (l > 0), true
+	}
+	fix := func(l int) bool { // false on conflict
+		want := l > 0
+		if v, ok := res.Fixed[abs(l)]; ok {
+			return v == want
+		}
+		res.Fixed[abs(l)] = want
+		return true
+	}
+
+	for {
+		changed := false
+		// Unit propagation round: rewrite the clause list under the
+		// current fixing, collecting new units.
+		out := clauses[:0]
+		for _, cl := range clauses {
+			keep := make([]int, 0, len(cl))
+			sat := false
+			for _, l := range cl {
+				if v, known := valueOf(l); known {
+					if v {
+						sat = true
+						break
+					}
+					continue // falsified literal dropped
+				}
+				keep = append(keep, l)
+			}
+			if sat {
+				changed = true
+				continue
+			}
+			switch len(keep) {
+			case 0:
+				// All literals falsified: the original formula is
+				// refuted. Callers must check Status before using CNF.
+				res.Status = Unsat
+				res.CNF = &CNF{NumVars: input.NumVars}
+				return res
+			case 1:
+				if !fix(keep[0]) {
+					res.Status = Unsat
+					res.CNF = &CNF{NumVars: input.NumVars}
+					return res
+				}
+				changed = true
+				continue
+			}
+			if len(keep) != len(cl) {
+				changed = true
+			}
+			out = append(out, keep)
+		}
+		clauses = out
+		if changed {
+			res.UnitRounds++
+			continue
+		}
+
+		// Pure-literal round: a variable occurring with one polarity
+		// only can be fixed to that polarity, satisfying its clauses.
+		polarity := map[int]int8{} // var -> 1 pos only, -1 neg only, 0 both
+		for _, cl := range clauses {
+			for _, l := range cl {
+				v := abs(l)
+				s := int8(1)
+				if l < 0 {
+					s = -1
+				}
+				if old, ok := polarity[v]; !ok {
+					polarity[v] = s
+				} else if old != s {
+					polarity[v] = 0
+				}
+			}
+		}
+		pure := false
+		for v, s := range polarity {
+			if s != 0 {
+				fix(v * int(s))
+				pure = true
+			}
+		}
+		if !pure {
+			break
+		}
+		res.PureRounds++
+	}
+
+	res.CNF = &CNF{NumVars: input.NumVars, Comments: input.Comments}
+	for _, cl := range clauses {
+		res.CNF.Clauses = append(res.CNF.Clauses, cl)
+	}
+	if len(clauses) == 0 {
+		res.Status = Sat
+	}
+	return res
+}
+
+// Extend completes a model of the simplified formula into a model of
+// the original: fixed variables take their forced values, variables
+// free in both take the model's value (or false if the model is
+// shorter).
+func (s *Simplified) Extend(model []bool) ([]bool, error) {
+	if s.Status == Unsat {
+		return nil, fmt.Errorf("sat: cannot extend a model of an unsatisfiable formula")
+	}
+	out := make([]bool, s.CNF.NumVars)
+	copy(out, model)
+	for v, val := range s.Fixed {
+		out[v-1] = val
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyUnitPropagation(t *testing.T) {
+	cnf := &CNF{}
+	cnf.AddClause(1)
+	cnf.AddClause(-1, 2)
+	cnf.AddClause(-2, 3, 4)
+	s := Simplify(cnf)
+	if s.Status == Unsat {
+		t.Fatal("sat formula refuted")
+	}
+	if !s.Fixed[1] || !s.Fixed[2] {
+		t.Fatalf("units not propagated: %v", s.Fixed)
+	}
+	// Remaining clause (3 4) is purified away, so everything is fixed.
+	if s.Status != Sat {
+		t.Fatalf("status %v, want Sat after pure elimination", s.Status)
+	}
+}
+
+func TestSimplifyDetectsUnsat(t *testing.T) {
+	cnf := &CNF{}
+	cnf.AddClause(1)
+	cnf.AddClause(-1)
+	if s := Simplify(cnf); s.Status != Unsat {
+		t.Fatalf("status %v", s.Status)
+	}
+	cnf2 := &CNF{}
+	cnf2.AddClause(1)
+	cnf2.AddClause(-1, 2)
+	cnf2.AddClause(-1, -2)
+	if s := Simplify(cnf2); s.Status != Unsat {
+		t.Fatalf("chained refutation missed: %v", s.Status)
+	}
+}
+
+func TestSimplifyPureLiterals(t *testing.T) {
+	// Variable 3 occurs only positively: all its clauses vanish.
+	cnf := &CNF{}
+	cnf.AddClause(1, 3)
+	cnf.AddClause(2, 3)
+	cnf.AddClause(1, -2)
+	s := Simplify(cnf)
+	if v, ok := s.Fixed[3]; !ok || !v {
+		t.Fatalf("pure literal 3 not fixed true: %v", s.Fixed)
+	}
+	if s.PureRounds == 0 {
+		t.Fatal("pure rounds not counted")
+	}
+}
+
+// TestSimplifyPreservesSatisfiability: Simplify + solve must agree with
+// direct solving, and extended models must satisfy the original.
+func TestSimplifyPreservesSatisfiability(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 200; trial++ {
+		vars := 3 + rng.Intn(10)
+		cnf := randomCNF(rng, vars, vars*3+rng.Intn(vars*3), 1+rng.Intn(3))
+		want, _ := BruteForce(cnf)
+		s := Simplify(cnf)
+		var got Status
+		switch s.Status {
+		case Unsat:
+			got = Unsat
+		case Sat:
+			got = Sat
+		default:
+			got = SolveCNF(s.CNF, Options{}, nil).Status
+		}
+		if got != want {
+			t.Fatalf("trial %d: simplified=%v, direct=%v", trial, got, want)
+		}
+		if want == Sat {
+			var model []bool
+			if s.Status != Sat {
+				res := SolveCNF(s.CNF, Options{}, nil)
+				model = res.Model
+			}
+			full, err := s.Extend(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cnf.Eval(full) {
+				t.Fatalf("trial %d: extended model does not satisfy original", trial)
+			}
+		}
+	}
+}
+
+func TestSimplifyShrinksColoringFormulas(t *testing.T) {
+	// A coloring CNF with symmetry-restricted singleton domains has
+	// units: simplification must shrink it.
+	cnf := &CNF{}
+	cnf.AddClause(1)      // vertex fixed to color 0
+	cnf.AddClause(2, 3)   // neighbor has two colors
+	cnf.AddClause(-1, -2) // conflict on color 0
+	s := Simplify(cnf)
+	if s.Status == Unsat {
+		t.Fatal("refuted")
+	}
+	if len(s.CNF.Clauses) >= 3 {
+		t.Fatalf("no shrink: %d clauses", len(s.CNF.Clauses))
+	}
+	if v := s.Fixed[2]; v {
+		t.Fatal("variable 2 must be fixed false")
+	}
+}
+
+func TestSimplifyExtendUnsatErrors(t *testing.T) {
+	cnf := &CNF{}
+	cnf.AddClause(1)
+	cnf.AddClause(-1)
+	s := Simplify(cnf)
+	if _, err := s.Extend(nil); err == nil {
+		t.Fatal("Extend on unsat accepted")
+	}
+}

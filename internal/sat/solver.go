@@ -1,0 +1,715 @@
+package sat
+
+import (
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// clause is a disjunction of literals. Learnt clauses carry an
+// activity score and a literal-block-distance (LBD) used by the
+// database reduction policy.
+type clause struct {
+	lits   []Lit
+	act    float64
+	lbd    int32
+	learnt bool
+}
+
+// watch pairs a watched clause with a blocker literal: if the blocker
+// is already true the clause is satisfied and need not be inspected.
+type watch struct {
+	c       *clause
+	blocker Lit
+}
+
+// Stats counts solver work. It is valid after Solve returns.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64 // learnt clauses added
+	Removed      int64 // learnt clauses deleted by reduceDB
+	MaxTrail     int   // deepest trail seen
+}
+
+// Options configure a Solver. The zero value selects defaults.
+type Options struct {
+	// ConflictBudget, when positive, bounds the number of conflicts
+	// before Solve returns Unknown.
+	ConflictBudget int64
+	// InitialPhase is the first branching polarity for every variable
+	// (false, the default, branches negative first like MiniSat).
+	InitialPhase bool
+	// DisableMinimize turns off conflict-clause minimization
+	// (used by tests to exercise both analyze paths).
+	DisableMinimize bool
+	// DisablePhaseSaving makes every decision use InitialPhase instead
+	// of the last assigned polarity.
+	DisablePhaseSaving bool
+	// VarDecay is the VSIDS decay factor in (0,1); 0 selects the
+	// default 0.95. Larger values keep activity longer (slower focus
+	// shifts); smaller values chase recent conflicts harder.
+	VarDecay float64
+	// RestartBase is the conflict budget unit of the restart schedule;
+	// 0 selects the default 100.
+	RestartBase int64
+	// GeometricRestarts replaces the Luby schedule with a geometric
+	// one (budget multiplied by 1.5 per restart), the strategy of
+	// several pre-Luby clause-learning solvers.
+	GeometricRestarts bool
+	// ProofWriter, when non-nil, receives a DRAT unsatisfiability
+	// proof: every learnt clause and deletion is logged, and an Unsat
+	// answer ends with the empty clause. Verify with CheckDRAT.
+	ProofWriter io.Writer
+	// LearntLimit, when positive, caps the learnt-clause database size
+	// that triggers deletion (default max(#clauses/3, 5000)); smaller
+	// values bound memory at the cost of relearning.
+	LearntLimit int
+}
+
+// Profile is a named solver configuration. The paper compared two
+// external solvers (siege_v4, stronger on unsatisfiable formulas, and
+// MiniSat, slightly ahead on satisfiable ones); Profiles exposes two
+// analogous configurations of this solver so that the experiment can
+// be reproduced without external binaries.
+type Profile struct {
+	Name string
+	Opts Options
+}
+
+// Profiles returns the built-in solver configurations: "luby" (MiniSat
+// defaults: Luby restarts, decay 0.95, phase saving) and "geometric"
+// (geometric restarts from a larger base with slower decay, in the
+// style of earlier clause-learning solvers such as siege).
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "luby", Opts: Options{}},
+		{Name: "geometric", Opts: Options{
+			GeometricRestarts: true,
+			RestartBase:       700,
+			VarDecay:          0.99,
+		}},
+	}
+}
+
+// Solver is a CDCL SAT solver: two-literal watching, first-UIP conflict
+// analysis with basic clause minimization, VSIDS branching with phase
+// saving, Luby restarts and activity/LBD-driven learnt-clause deletion.
+//
+// A Solver is not safe for concurrent use, with one exception: Stop may
+// be called from another goroutine to cancel a running Solve.
+type Solver struct {
+	opts Options
+
+	clauses []*clause
+	learnts []*clause
+	watches [][]watch // indexed by Lit; watches[l] lists clauses watching l
+
+	assigns  []int8 // indexed by Var
+	polarity []bool // saved phase, indexed by Var
+	level    []int32
+	reason   []*clause
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+
+	claInc     float64
+	maxLearnts float64
+
+	seen     []byte
+	minStack []Lit // scratch: all literals marked seen during analyze
+	lbdStamp []int64
+	lbdGen   int64
+
+	ok      bool // false once an empty clause is derived at level 0
+	stopped atomic.Bool
+	proof   *proofLogger
+
+	model []bool
+	Stats Stats
+}
+
+// Default VSIDS and clause-activity decay factors (MiniSat values).
+const (
+	defaultVarDecay    = 0.95
+	clauseDecay        = 0.999
+	defaultRestartBase = 100 // conflicts per Luby unit
+)
+
+// New creates a solver with the given options.
+func New(opts Options) *Solver {
+	s := &Solver{
+		opts:   opts,
+		varInc: 1,
+		claInc: 1,
+		ok:     true,
+	}
+	s.order = newVarHeap(&s.activity)
+	if opts.ProofWriter != nil {
+		s.proof = newProofLogger(opts.ProofWriter)
+	}
+	return s
+}
+
+// NewVar introduces a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.polarity = append(s.polarity, s.opts.InitialPhase)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// ensureVars grows the variable table so that v is valid.
+func (s *Solver) ensureVars(v Var) {
+	for Var(len(s.assigns)) <= v {
+		s.NewVar()
+	}
+}
+
+func (s *Solver) value(l Lit) int8 {
+	v := s.assigns[l.Var()]
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a problem clause (literals in DIMACS-free Lit form).
+// It returns false if the formula is already known unsatisfiable.
+// Must be called before Solve and only at decision level 0.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// Sort and strip duplicates/tautologies and level-0 false literals.
+	ls := make([]Lit, len(lits))
+	copy(ls, lits)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = LitUndef
+	for _, l := range ls {
+		s.ensureVars(l.Var())
+		switch {
+		case s.value(l) == lTrue || l == prev.Neg() && prev != LitUndef:
+			return true // satisfied or tautological
+		case s.value(l) == lFalse || l == prev:
+			continue // falsified at level 0 or duplicate
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+// AddDimacsClause adds a clause given as DIMACS integers.
+func (s *Solver) AddDimacsClause(dimacs ...int) bool {
+	lits := make([]Lit, len(dimacs))
+	for i, d := range dimacs {
+		lits[i] = LitFromDimacs(d)
+	}
+	return s.AddClause(lits...)
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], watch{c, c.lits[1]})
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], watch{c, c.lits[0]})
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, l := range []Lit{c.lits[0], c.lits[1]} {
+		ws := s.watches[l]
+		for i := range ws {
+			if ws[i].c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[l] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Sign() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	if len(s.trail) > s.Stats.MaxTrail {
+		s.Stats.MaxTrail = len(s.trail)
+	}
+}
+
+// propagate performs unit propagation over the watch lists and returns
+// the first conflicting clause, or nil if a fixpoint was reached.
+func (s *Solver) propagate() *clause {
+	var confl *clause
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		falseLit := p.Neg()
+		ws := s.watches[falseLit]
+		j := 0
+	nextWatch:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			// Ensure the falsified literal is at position 1.
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], falseLit
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[j] = watch{c, first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], watch{c, first})
+					continue nextWatch
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watch{c, first}
+			j++
+			if s.value(first) == lFalse {
+				confl = c
+				s.qhead = len(s.trail)
+				// Copy the remaining watches back before bailing out.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				break
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[falseLit] = ws[:j]
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze derives a first-UIP learnt clause from the conflict confl.
+// It returns the learnt literals (asserting literal first) and the
+// backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{LitUndef} // slot 0 reserved for the asserting literal
+	pathC := 0
+	p := LitUndef
+	index := len(s.trail) - 1
+
+	for {
+		s.claBumpActivity(confl)
+		start := 0
+		if p != LitUndef {
+			start = 1 // lits[0] of a reason clause is the propagated literal
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.varBumpActivity(v)
+				s.seen[v] = 1
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find the next literal of the current level on the trail.
+		for s.seen[s.trail[index].Var()] == 0 {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Neg()
+
+	// Basic conflict-clause minimization: drop literals whose reason is
+	// subsumed by the rest of the learnt clause. Seen flags of dropped
+	// literals must still be cleared afterwards, so remember them.
+	s.minStack = append(s.minStack[:0], learnt...)
+	if !s.opts.DisableMinimize {
+		j := 1
+		for i := 1; i < len(learnt); i++ {
+			if !s.litRedundant(learnt[i]) {
+				learnt[j] = learnt[i]
+				j++
+			}
+		}
+		learnt = learnt[:j]
+	}
+
+	btLevel := 0
+	if len(learnt) > 1 {
+		// Move a literal of the highest remaining level to slot 1.
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	for _, l := range s.minStack {
+		s.seen[l.Var()] = 0
+	}
+	return learnt, btLevel
+}
+
+// litRedundant reports whether l's reason clause is entirely covered by
+// literals already marked seen (or fixed at level 0), making l
+// removable from the learnt clause. This is the non-recursive "basic"
+// minimization of MiniSat.
+func (s *Solver) litRedundant(l Lit) bool {
+	r := s.reason[l.Var()]
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits[1:] {
+		v := q.Var()
+		if s.seen[v] == 0 && s.level[v] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// cancelUntil undoes all assignments above the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		if !s.opts.DisablePhaseSaving {
+			s.polarity[v] = s.assigns[v] == lTrue
+		}
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = bound
+}
+
+func (s *Solver) varBumpActivity(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.decrease(v)
+}
+
+func (s *Solver) varDecayActivity() {
+	decay := s.opts.VarDecay
+	if decay == 0 {
+		decay = defaultVarDecay
+	}
+	s.varInc /= decay
+}
+
+func (s *Solver) claBumpActivity(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) claDecayActivity() { s.claInc /= clauseDecay }
+
+// pickBranchLit selects the unassigned variable with highest activity
+// and applies the saved phase. It returns LitUndef when all variables
+// are assigned (i.e. the formula is satisfied).
+func (s *Solver) pickBranchLit() Lit {
+	for !s.order.empty() {
+		v := s.order.removeMin()
+		if s.assigns[v] == lUndef {
+			s.Stats.Decisions++
+			return MkLit(v, !s.polarity[v])
+		}
+	}
+	return LitUndef
+}
+
+// computeLBD counts the number of distinct decision levels among lits,
+// using a generation-stamped scratch array to avoid allocation on the
+// per-conflict path.
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	s.lbdGen++
+	var n int32
+	for _, l := range lits {
+		lev := int(s.level[l.Var()])
+		for lev >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, 0)
+		}
+		if s.lbdStamp[lev] != s.lbdGen {
+			s.lbdStamp[lev] = s.lbdGen
+			n++
+		}
+	}
+	return n
+}
+
+// reduceDB removes roughly half of the learnt clauses, preferring high
+// LBD and low activity, and never touching reason ("locked") clauses
+// or binary clauses.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		a, b := s.learnts[i], s.learnts[j]
+		if (a.lbd > 2) != (b.lbd > 2) {
+			return b.lbd > 2 // glue clauses last (kept)
+		}
+		return a.act < b.act
+	})
+	extLim := s.claInc / float64(len(s.learnts)+1)
+	j := 0
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		removable := len(c.lits) > 2 && !s.locked(c) &&
+			(i < limit || c.act < extLim) && c.lbd > 2
+		if removable {
+			s.detach(c)
+			if s.proof != nil {
+				s.proof.deleteClause(c.lits)
+			}
+			s.Stats.Removed++
+		} else {
+			s.learnts[j] = c
+			j++
+		}
+	}
+	s.learnts = s.learnts[:j]
+}
+
+func (s *Solver) locked(c *clause) bool {
+	return s.reason[c.lits[0].Var()] == c && s.value(c.lits[0]) == lTrue
+}
+
+// Stop cancels a running Solve from another goroutine; the solve
+// returns Unknown at the next check point. It is safe to call at any
+// time, including before Solve.
+func (s *Solver) Stop() { s.stopped.Store(true) }
+
+// Stopped reports whether Stop has been called.
+func (s *Solver) Stopped() bool { return s.stopped.Load() }
+
+// search runs CDCL for at most nofConflicts conflicts and returns the
+// status (Unknown means "restart budget exhausted").
+func (s *Solver) search(nofConflicts int64) Status {
+	var conflictC int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflictC++
+			if s.decisionLevel() == 0 {
+				if s.proof != nil {
+					s.proof.addClause(nil)
+				}
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if s.proof != nil {
+				s.proof.addClause(learnt)
+			}
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.claBumpActivity(c)
+				s.uncheckedEnqueue(learnt[0], c)
+				s.Stats.Learnt++
+			}
+			s.varDecayActivity()
+			s.claDecayActivity()
+			if s.Stats.Conflicts&1023 == 0 && s.stopped.Load() {
+				return Unknown
+			}
+			continue
+		}
+		// No conflict.
+		if conflictC >= nofConflicts {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if s.opts.ConflictBudget > 0 && s.Stats.Conflicts >= s.opts.ConflictBudget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if float64(len(s.learnts))-float64(len(s.trail)) >= s.maxLearnts {
+			s.reduceDB()
+		}
+		next := s.pickBranchLit()
+		if next == LitUndef {
+			return Sat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// scaled by y.
+func luby(y float64, i int64) float64 {
+	// Find the finite subsequence containing index i, and its position.
+	var size, seq int64 = 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) >> 1
+		seq--
+		i = i % size
+	}
+	return math.Pow(y, float64(seq))
+}
+
+// Solve runs the solver. It returns Sat, Unsat or Unknown (budget
+// exhausted or Stop called). After Sat, Model returns the assignment.
+func (s *Solver) Solve() Status {
+	if !s.ok {
+		if s.proof != nil {
+			s.proof.addClause(nil)
+			s.flushProof()
+		}
+		return Unsat
+	}
+	defer s.flushProof()
+	s.maxLearnts = math.Max(float64(len(s.clauses))*0.33, 5000)
+	if s.opts.LearntLimit > 0 {
+		s.maxLearnts = float64(s.opts.LearntLimit)
+	}
+	var curRestarts int64
+	for {
+		if s.stopped.Load() {
+			return Unknown
+		}
+		base := s.opts.RestartBase
+		if base == 0 {
+			base = defaultRestartBase
+		}
+		var budget int64
+		if s.opts.GeometricRestarts {
+			budget = int64(float64(base) * math.Pow(1.5, float64(curRestarts)))
+		} else {
+			budget = int64(luby(2, curRestarts) * float64(base))
+		}
+		status := s.search(budget)
+		switch status {
+		case Sat:
+			s.model = make([]bool, len(s.assigns))
+			for v := range s.assigns {
+				s.model[v] = s.assigns[v] == lTrue
+			}
+			s.cancelUntil(0)
+			return Sat
+		case Unsat:
+			s.ok = false
+			return Unsat
+		}
+		if s.opts.ConflictBudget > 0 && s.Stats.Conflicts >= s.opts.ConflictBudget {
+			return Unknown
+		}
+		curRestarts++
+		s.Stats.Restarts++
+		s.maxLearnts *= 1.05
+	}
+}
+
+// Model returns the satisfying assignment found by the last successful
+// Solve: Model()[v] is the value of variable v. It returns nil if no
+// model is available.
+func (s *Solver) Model() []bool { return s.model }
+
+// NumClauses returns the number of problem clauses currently stored
+// (after level-0 simplification during AddClause).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// flushProof flushes any pending proof output. The flush error, if
+// any, is reported by ProofError.
+func (s *Solver) flushProof() {
+	if s.proof != nil {
+		s.proof.flush()
+	}
+}
+
+// ProofError returns the first error encountered while writing the
+// DRAT proof, or nil. Callers that rely on certificates should check
+// it after Solve.
+func (s *Solver) ProofError() error {
+	if s.proof == nil {
+		return nil
+	}
+	if s.proof.err != nil {
+		return s.proof.err
+	}
+	return s.proof.flush()
+}

@@ -1,0 +1,148 @@
+// Package symmetry implements the two symmetry-breaking heuristics of
+// the paper (Sect. 5) for graph-coloring problems solved with K colors.
+//
+// Both heuristics rely on Van Gelder's observation that for any ordered
+// sequence of K-1 vertices, the i-th vertex (1-based) can be restricted
+// to colors < i without losing any solutions up to color permutation:
+//
+//   - b1 (Van Gelder): the sequence starts with the vertex of maximum
+//     degree, followed by up to K-2 of its neighbors in descending
+//     order of degree, ties broken by the sum of the neighbors'
+//     degrees.
+//   - s1 (this paper): the K-1 highest-degree vertices overall, sorted
+//     in descending order of degree, ties broken by the sum of the
+//     neighbors' degrees.
+//
+// The sequences are applied by shrinking the color domains of the
+// selected vertices (vertex at 1-based position i gets domain
+// {0,...,i-1}), which is equivalent to adding Van Gelder's restriction
+// clauses but lets the encodings in package core allocate fewer Boolean
+// variables for the restricted vertices.
+package symmetry
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgasat/internal/coloring"
+	"fpgasat/internal/graph"
+)
+
+// Heuristic selects a symmetry-breaking vertex sequence.
+type Heuristic string
+
+const (
+	// None disables symmetry breaking.
+	None Heuristic = ""
+	// B1 is Van Gelder's max-degree-plus-neighbors heuristic.
+	B1 Heuristic = "b1"
+	// S1 is the paper's global highest-degrees heuristic.
+	S1 Heuristic = "s1"
+	// C1 is an extension beyond the paper: the restricted sequence is a
+	// greedily grown large clique, sorted by descending degree (ties by
+	// neighbor-degree sum). Clique members must receive pairwise
+	// distinct colors anyway, so the triangular restriction pins the
+	// color permutation exactly where the coloring is tightest. Like
+	// b1 and s1 it is sound for any vertex choice (Van Gelder).
+	C1 Heuristic = "c1"
+)
+
+// Parse converts a string ("", "-", "none", "b1", "s1", "c1") to a
+// Heuristic.
+func Parse(s string) (Heuristic, error) {
+	switch s {
+	case "", "-", "none":
+		return None, nil
+	case "b1":
+		return B1, nil
+	case "s1":
+		return S1, nil
+	case "c1":
+		return C1, nil
+	}
+	return None, fmt.Errorf("symmetry: unknown heuristic %q", s)
+}
+
+// Sequence returns the ordered vertex sequence selected by h for a
+// K-coloring of g; position i (0-based) is restricted to colors <= i.
+// The sequence has at most K-1 entries (fewer when the graph is small
+// or, for b1, when the seed vertex has few neighbors). A nil slice
+// means no restriction.
+func Sequence(g *graph.Graph, k int, h Heuristic) []int {
+	if k <= 1 || g.N() == 0 {
+		return nil
+	}
+	switch h {
+	case None:
+		return nil
+	case B1:
+		return b1(g, k)
+	case S1:
+		return s1(g, k)
+	case C1:
+		return c1(g, k)
+	}
+	panic(fmt.Sprintf("symmetry: unknown heuristic %q", h))
+}
+
+// byDegreeDesc sorts vertices by descending degree, ties broken by
+// descending neighbor-degree sum, final tie on index for determinism.
+func byDegreeDesc(g *graph.Graph, vs []int) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if da, db := g.Degree(a), g.Degree(b); da != db {
+			return da > db
+		}
+		if sa, sb := g.NeighborDegreeSum(a), g.NeighborDegreeSum(b); sa != sb {
+			return sa > sb
+		}
+		return a < b
+	})
+}
+
+func maxDegreeVertex(g *graph.Graph) int {
+	best := 0
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) > g.Degree(best) ||
+			(g.Degree(v) == g.Degree(best) &&
+				g.NeighborDegreeSum(v) > g.NeighborDegreeSum(best)) {
+			best = v
+		}
+	}
+	return best
+}
+
+func b1(g *graph.Graph, k int) []int {
+	seed := maxDegreeVertex(g)
+	seq := []int{seed}
+	nbs := g.Neighbors(seed)
+	byDegreeDesc(g, nbs)
+	for _, u := range nbs {
+		if len(seq) == k-1 {
+			break
+		}
+		seq = append(seq, u)
+	}
+	return seq
+}
+
+func s1(g *graph.Graph, k int) []int {
+	vs := make([]int, g.N())
+	for i := range vs {
+		vs[i] = i
+	}
+	byDegreeDesc(g, vs)
+	if len(vs) > k-1 {
+		vs = vs[:k-1]
+	}
+	return vs
+}
+
+func c1(g *graph.Graph, k int) []int {
+	cl := coloring.GreedyClique(g)
+	byDegreeDesc(g, cl)
+	if len(cl) > k-1 {
+		cl = cl[:k-1]
+	}
+	return cl
+}

@@ -1,0 +1,153 @@
+package symmetry
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpgasat/internal/graph"
+)
+
+func TestParse(t *testing.T) {
+	for _, s := range []string{"", "-", "none"} {
+		if h, err := Parse(s); err != nil || h != None {
+			t.Errorf("Parse(%q) = %v, %v", s, h, err)
+		}
+	}
+	if h, err := Parse("b1"); err != nil || h != B1 {
+		t.Errorf("Parse(b1) = %v, %v", h, err)
+	}
+	if h, err := Parse("s1"); err != nil || h != S1 {
+		t.Errorf("Parse(s1) = %v, %v", h, err)
+	}
+	if _, err := Parse("zz"); err == nil {
+		t.Error("Parse(zz) accepted")
+	}
+}
+
+func TestSequenceLengthBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		g := graph.Random(rng, 1+rng.Intn(30), rng.Float64())
+		k := 1 + rng.Intn(8)
+		for _, h := range []Heuristic{None, B1, S1} {
+			seq := Sequence(g, k, h)
+			if h == None && seq != nil {
+				t.Fatal("None returned a sequence")
+			}
+			if len(seq) > k-1 {
+				t.Fatalf("%s: sequence length %d > k-1=%d", h, len(seq), k-1)
+			}
+			seen := map[int]bool{}
+			for _, v := range seq {
+				if v < 0 || v >= g.N() || seen[v] {
+					t.Fatalf("%s: invalid or duplicate vertex %d in %v", h, v, seq)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestB1StartsAtMaxDegree(t *testing.T) {
+	// Star graph: center 0 has max degree.
+	g := graph.New(6)
+	for v := 1; v < 6; v++ {
+		g.AddEdge(0, v)
+	}
+	seq := Sequence(g, 4, B1)
+	if len(seq) != 3 || seq[0] != 0 {
+		t.Fatalf("b1 = %v, want [0 ...] of length 3", seq)
+	}
+	// Remaining entries must be neighbors of 0 (all vertices here).
+	for _, v := range seq[1:] {
+		if !g.HasEdge(0, v) {
+			t.Fatalf("b1 member %d is not a neighbor of the seed", v)
+		}
+	}
+}
+
+func TestB1LimitedByNeighbors(t *testing.T) {
+	// Two disjoint edges: seed has only 1 neighbor, so b1 yields 2
+	// vertices even for large k.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	seq := Sequence(g, 10, B1)
+	if len(seq) != 2 {
+		t.Fatalf("b1 = %v, want length 2", seq)
+	}
+}
+
+func TestS1PicksHighestDegrees(t *testing.T) {
+	// Path 0-1-2-3-4: degrees 1,2,2,2,1.
+	g := graph.New(5)
+	for v := 0; v < 4; v++ {
+		g.AddEdge(v, v+1)
+	}
+	seq := Sequence(g, 4, S1)
+	if len(seq) != 3 {
+		t.Fatalf("s1 = %v, want length 3", seq)
+	}
+	for _, v := range seq {
+		if g.Degree(v) != 2 {
+			t.Fatalf("s1 chose degree-%d vertex %d; middle vertices have degree 2", g.Degree(v), v)
+		}
+	}
+}
+
+func TestS1TieBreakByNeighborSum(t *testing.T) {
+	// Vertices 1 and 4 both have degree 2, but 1's neighbors (0,2) have
+	// higher total degree than 4's (3,5) in this construction.
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2) // triangle boosts degrees of 0 and 2
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	seq := Sequence(g, 2, S1)
+	if len(seq) != 1 {
+		t.Fatalf("s1 = %v, want length 1", seq)
+	}
+	if g.Degree(seq[0]) != 2 {
+		t.Fatalf("wrong degree")
+	}
+	if seq[0] != 0 && seq[0] != 1 && seq[0] != 2 {
+		t.Fatalf("tie-break failed: picked %d outside the triangle", seq[0])
+	}
+}
+
+func TestKOneNoSequence(t *testing.T) {
+	g := graph.Complete(3)
+	if seq := Sequence(g, 1, S1); seq != nil {
+		t.Fatalf("k=1 gave %v", seq)
+	}
+	if seq := Sequence(graph.New(0), 5, B1); seq != nil {
+		t.Fatalf("empty graph gave %v", seq)
+	}
+}
+
+func TestC1IsClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.Random(rng, 4+rng.Intn(25), 0.3+rng.Float64()*0.5)
+		k := 2 + rng.Intn(6)
+		seq := Sequence(g, k, C1)
+		if len(seq) > k-1 {
+			t.Fatalf("c1 too long: %v", seq)
+		}
+		for i := 0; i < len(seq); i++ {
+			for j := i + 1; j < len(seq); j++ {
+				if !g.HasEdge(seq[i], seq[j]) {
+					t.Fatalf("c1 members %d,%d not adjacent", seq[i], seq[j])
+				}
+			}
+		}
+	}
+}
+
+func TestParseC1(t *testing.T) {
+	h, err := Parse("c1")
+	if err != nil || h != C1 {
+		t.Fatalf("%v %v", h, err)
+	}
+}
