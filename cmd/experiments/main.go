@@ -18,6 +18,7 @@ import (
 
 	"fpgasat/internal/experiments"
 	"fpgasat/internal/mcnc"
+	"fpgasat/internal/obs"
 	"fpgasat/internal/symmetry"
 )
 
@@ -25,20 +26,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		table1    = flag.Bool("table1", false, "reproduce Table 1 (example encodings)")
-		figure1   = flag.Bool("figure1", false, "reproduce Figure 1 (ITE trees for 13 values)")
-		table2    = flag.Bool("table2", false, "reproduce Table 2 (unroutable configurations)")
-		routable  = flag.Bool("routable", false, "reproduce the routable-configuration comparison")
-		portfolio = flag.Bool("portfolio", false, "reproduce the portfolio study")
-		sizes     = flag.Bool("sizes", false, "encoding-size ablation")
-		solvers   = flag.Bool("solvers", false, "solver-profile comparison (siege vs MiniSat analog)")
-		trees     = flag.Bool("trees", false, "ITE-tree shape ablation")
-		symAbl    = flag.Bool("symmetry", false, "symmetry-heuristic ablation (-, b1, s1, c1)")
-		baselines = flag.Bool("baselines", false, "one-net-at-a-time baselines vs the SAT flow")
-		all       = flag.Bool("all", false, "run everything")
-		quick     = flag.Bool("quick", false, "use only the first two benchmarks (smoke test)")
-		timeout   = flag.Duration("timeout", 120*time.Second, "per-solve timeout (0 = none)")
-		verbose   = flag.Bool("v", false, "print per-solve progress to stderr")
+		table1     = flag.Bool("table1", false, "reproduce Table 1 (example encodings)")
+		figure1    = flag.Bool("figure1", false, "reproduce Figure 1 (ITE trees for 13 values)")
+		table2     = flag.Bool("table2", false, "reproduce Table 2 (unroutable configurations)")
+		routable   = flag.Bool("routable", false, "reproduce the routable-configuration comparison")
+		portfolio  = flag.Bool("portfolio", false, "reproduce the portfolio study")
+		sizes      = flag.Bool("sizes", false, "encoding-size ablation")
+		solvers    = flag.Bool("solvers", false, "solver-profile comparison (siege vs MiniSat analog)")
+		trees      = flag.Bool("trees", false, "ITE-tree shape ablation")
+		symAbl     = flag.Bool("symmetry", false, "symmetry-heuristic ablation (-, b1, s1, c1)")
+		baselines  = flag.Bool("baselines", false, "one-net-at-a-time baselines vs the SAT flow")
+		all        = flag.Bool("all", false, "run everything")
+		quick      = flag.Bool("quick", false, "use only the first two benchmarks (smoke test)")
+		timeout    = flag.Duration("timeout", 120*time.Second, "per-solve timeout (0 = none)")
+		verbose    = flag.Bool("v", false, "print per-solve progress to stderr")
+		trace      = flag.Bool("trace", false, "print the collected metrics report after the run")
+		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
 	if *all {
@@ -54,6 +57,25 @@ func main() {
 	if *verbose {
 		progress = os.Stderr
 	}
+	reg := obs.NewRegistry()
+	defer func() {
+		if *trace {
+			fmt.Println("\n── metrics report ──")
+			if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := reg.Snapshot().WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
 	insts := mcnc.Table2Instances()
 	if *quick {
 		insts = insts[:2]
@@ -94,7 +116,7 @@ func main() {
 	}
 	if *portfolio {
 		r, err := experiments.RunPortfolio(experiments.PortfolioConfig{
-			Instances: insts, Timeout: *timeout, Progress: progress,
+			Instances: insts, Timeout: *timeout, Progress: progress, Obs: reg,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -12,9 +12,13 @@
 //	fpgasat -instance k2 -w 8 -col out.col      # emit DIMACS graph
 //	fpgasat -instance k2 -w 8 -cnf out.cnf      # emit DIMACS CNF
 //	fpgasat -instance apex7 -w 8 -tracks        # print track assignment
+//	fpgasat -instance alu2 -portfolio           # paper's 3-strategy portfolio
+//	fpgasat -instance alu2 -trace               # per-stage timing report
+//	fpgasat -instance alu2 -metrics-out m.json  # dump metrics as JSON
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,25 +30,36 @@ import (
 	"fpgasat/internal/fpga"
 	"fpgasat/internal/graph"
 	"fpgasat/internal/mcnc"
+	"fpgasat/internal/obs"
+	"fpgasat/internal/portfolio"
 	"fpgasat/internal/sat"
 )
+
+// reg collects per-stage spans (pipeline.translate / encode / solve /
+// decode), solver progress gauges and, in -portfolio mode, the
+// per-strategy portfolio telemetry. It is dumped by -trace and
+// -metrics-out.
+var reg = obs.NewRegistry()
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fpgasat: ")
 	var (
-		instName = flag.String("instance", "alu2", "benchmark instance name (see -list)")
-		netFile  = flag.String("netlist", "", "route an external netlist file instead of a benchmark instance")
-		rtFile   = flag.String("routing", "", "use an external global-routing file (requires -netlist)")
-		list     = flag.Bool("list", false, "list available instances and exit")
-		w        = flag.Int("w", 0, "channel width W (default: the instance's routable width)")
-		strategy = flag.String("strategy", "ITE-linear-2+muldirect/s1", "encoding[/heuristic]")
-		findMin  = flag.Bool("findmin", false, "find the minimum routable channel width")
-		colOut   = flag.String("col", "", "write the conflict graph in DIMACS edge format to this file")
-		cnfOut   = flag.String("cnf", "", "write the CNF in DIMACS format to this file")
-		tracks   = flag.Bool("tracks", false, "print the full track assignment when routable")
-		proof    = flag.String("proof", "", "on UNROUTABLE, write a DRAT unroutability certificate here and verify it")
-		timeout  = flag.Duration("timeout", 5*time.Minute, "solve timeout (0 = none)")
+		instName     = flag.String("instance", "alu2", "benchmark instance name (see -list)")
+		netFile      = flag.String("netlist", "", "route an external netlist file instead of a benchmark instance")
+		rtFile       = flag.String("routing", "", "use an external global-routing file (requires -netlist)")
+		list         = flag.Bool("list", false, "list available instances and exit")
+		w            = flag.Int("w", 0, "channel width W (default: the instance's routable width)")
+		strategy     = flag.String("strategy", "ITE-linear-2+muldirect/s1", "encoding[/heuristic]")
+		usePortfolio = flag.Bool("portfolio", false, "solve with the paper's 3-strategy portfolio instead of -strategy")
+		findMin      = flag.Bool("findmin", false, "find the minimum routable channel width")
+		colOut       = flag.String("col", "", "write the conflict graph in DIMACS edge format to this file")
+		cnfOut       = flag.String("cnf", "", "write the CNF in DIMACS format to this file")
+		tracks       = flag.Bool("tracks", false, "print the full track assignment when routable")
+		proof        = flag.String("proof", "", "on UNROUTABLE, write a DRAT unroutability certificate here and verify it")
+		timeout      = flag.Duration("timeout", 5*time.Minute, "solve timeout (0 = none)")
+		trace        = flag.Bool("trace", false, "print the per-stage (and per-strategy) timing report")
+		metricsOut   = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -63,6 +78,7 @@ func main() {
 	}
 
 	start := time.Now()
+	span := reg.StartSpan("pipeline.translate")
 	var gr *fpga.GlobalRouting
 	name := *instName
 	if *netFile != "" {
@@ -85,6 +101,7 @@ func main() {
 		}
 	}
 	g := gr.ConflictGraph()
+	span.End()
 	fmt.Printf("instance %s: %dx%d array, %d nets, %d 2-pin nets\n",
 		name, gr.Netlist.Arch.Cols, gr.Netlist.Arch.Rows, len(gr.Netlist.Nets), len(gr.Routes))
 	fmt.Printf("conflict graph: %d vertices, %d edges, max congestion %d (translate %v)\n",
@@ -97,12 +114,23 @@ func main() {
 		fmt.Printf("wrote conflict graph to %s\n", *colOut)
 	}
 
+	defer dumpMetrics(*trace, *metricsOut)
+
 	if *findMin {
 		findMinimum(gr, g, s, *timeout)
 		return
 	}
 
+	if *usePortfolio {
+		runPortfolio(gr, g, *w, *timeout, *tracks)
+		return
+	}
+
+	span = reg.StartSpan("pipeline.encode")
 	enc := s.EncodeGraph(g, *w)
+	span.End()
+	reg.Gauge("pipeline.cnf_vars").Set(int64(enc.CNF.NumVars))
+	reg.Gauge("pipeline.cnf_clauses").Set(int64(enc.CNF.NumClauses()))
 	if *cnfOut != "" {
 		if err := writeCnf(*cnfOut, enc.CNF); err != nil {
 			log.Fatal(err)
@@ -111,7 +139,7 @@ func main() {
 			*cnfOut, enc.CNF.NumVars, enc.CNF.NumClauses())
 	}
 
-	opts := sat.Options{}
+	opts := solverOptions()
 	var proofFile *os.File
 	if *proof != "" {
 		proofFile, err = os.Create(*proof)
@@ -140,7 +168,9 @@ func main() {
 	}
 	switch st {
 	case sat.Sat:
+		span = reg.StartSpan("pipeline.decode")
 		dr, err := fpga.AssignTracks(gr, colors, *w)
+		span.End()
 		if err != nil {
 			log.Fatalf("decoded routing invalid: %v", err)
 		}
@@ -151,24 +181,119 @@ func main() {
 	case sat.Unsat:
 		fmt.Printf("UNROUTABLE with W=%d tracks — proven by %s\n", *w, s.Name())
 	default:
+		dumpMetrics(*trace, *metricsOut)
 		fmt.Printf("UNDECIDED within %v\n", *timeout)
 		os.Exit(1)
 	}
 }
 
+// solverOptions wires the solver's Progress hook into the metrics
+// registry so the last restart snapshot is visible in the report.
+func solverOptions() sat.Options {
+	conflicts := reg.Gauge("solver.conflicts")
+	propagations := reg.Gauge("solver.propagations")
+	restarts := reg.Gauge("solver.restarts")
+	learntDB := reg.Gauge("solver.learnt_db")
+	trailDepth := reg.Gauge("solver.trail_depth")
+	return sat.Options{
+		Progress: func(st sat.Stats) {
+			conflicts.Set(st.Conflicts)
+			propagations.Set(st.Propagations)
+			restarts.Set(st.Restarts)
+			learntDB.Set(int64(st.LearntDB))
+			trailDepth.Set(int64(st.TrailDepth))
+		},
+	}
+}
+
+// runPortfolio solves with the paper's 3-strategy portfolio, printing
+// the per-strategy telemetry table.
+func runPortfolio(gr *fpga.GlobalRouting, g *graph.Graph, w int, timeout time.Duration, tracks bool) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	span := reg.StartSpan("pipeline.solve")
+	winner, all, err := portfolio.RunObserved(ctx, g, w, portfolio.PaperPortfolio3(), reg)
+	span.End()
+	fmt.Println("portfolio strategies:")
+	for _, r := range all {
+		mark := " "
+		if r.Winner {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-28s %-8v encode %-10v solve %-10v %8d vars %8d clauses %8d conflicts\n",
+			mark, r.Strategy.Name(), r.Status,
+			r.EncodeTime.Round(time.Microsecond), r.SolveTime.Round(time.Millisecond),
+			r.Vars, r.Clauses, r.Stats.Conflicts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch winner.Status {
+	case sat.Sat:
+		dspan := reg.StartSpan("pipeline.decode")
+		dr, derr := fpga.AssignTracks(gr, winner.Colors, w)
+		dspan.End()
+		if derr != nil {
+			log.Fatalf("decoded routing invalid: %v", derr)
+		}
+		fmt.Printf("ROUTABLE with W=%d tracks (portfolio winner %s)\n", w, winner.Strategy.Name())
+		if tracks {
+			printTracks(dr)
+		}
+	case sat.Unsat:
+		fmt.Printf("UNROUTABLE with W=%d tracks — proven by portfolio winner %s\n", w, winner.Strategy.Name())
+	}
+}
+
+// dumpMetrics prints the text report (-trace) and/or writes the JSON
+// snapshot (-metrics-out). It is idempotent enough to call twice only
+// on the error path before os.Exit skips the deferred call.
+func dumpMetrics(trace bool, metricsOut string) {
+	if !trace && metricsOut == "" {
+		return
+	}
+	snap := reg.Snapshot()
+	if trace {
+		fmt.Println("\n── timing report ──")
+		if err := snap.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", metricsOut)
+	}
+}
+
 func solveOnce(enc *core.Encoded, timeout time.Duration) (sat.Status, []int) {
-	return solveWith(enc, sat.Options{}, timeout)
+	return solveWith(enc, solverOptions(), timeout)
 }
 
 func solveWith(enc *core.Encoded, opts sat.Options, timeout time.Duration) (sat.Status, []int) {
-	var stop chan struct{}
+	ctx := context.Background()
 	if timeout > 0 {
-		stop = make(chan struct{})
-		t := time.AfterFunc(timeout, func() { close(stop) })
-		defer t.Stop()
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 	start := time.Now()
-	st, colors, err := enc.Solve(opts, stop)
+	span := reg.StartSpan("pipeline.solve")
+	st, colors, err := enc.SolveContext(ctx, opts)
+	span.End()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -186,7 +311,10 @@ func findMinimum(gr *fpga.GlobalRouting, g *graph.Graph, s core.Strategy, timeou
 		ub, len(coloring.GreedyClique(g)))
 	best := ub
 	for k := ub - 1; k >= 1; k-- {
-		st, _ := solveOnce(s.EncodeGraph(g, k), timeout)
+		span := reg.StartSpan("pipeline.encode")
+		enc := s.EncodeGraph(g, k)
+		span.End()
+		st, _ := solveOnce(enc, timeout)
 		if st == sat.Unsat {
 			fmt.Printf("minimum channel width: W=%d (W=%d proven unroutable)\n", best, k)
 			return

@@ -5,11 +5,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"fpgasat/internal/mcnc"
+	"fpgasat/internal/obs"
 	"fpgasat/internal/portfolio"
 	"fpgasat/internal/sat"
 )
@@ -47,8 +50,12 @@ func main() {
 		fmt.Printf("  %-28s %8.3fs  %v\n", m.Name(), time.Since(start).Seconds(), status)
 	}
 
+	// The context-based runner with a metrics registry: per-strategy
+	// encode/solve telemetry plus the winner margin (the cancellation
+	// latency the losers pay).
+	reg := obs.NewRegistry()
 	start := time.Now()
-	winner, all, err := portfolio.Run(conflict, w, members, 0)
+	winner, all, err := portfolio.RunObserved(context.Background(), conflict, w, members, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,15 +68,23 @@ func main() {
 		} else if r.Status != sat.Unknown {
 			state = "finished"
 		}
-		fmt.Printf("  %-28s %8.3fs  %s\n", r.Strategy.Name(), r.Elapsed.Seconds(), state)
+		fmt.Printf("  %-28s %8.3fs (encode %v + solve %v, %d vars, %d clauses)  %s\n",
+			r.Strategy.Name(), r.Elapsed.Seconds(),
+			r.EncodeTime.Round(time.Microsecond), r.SolveTime.Round(time.Millisecond),
+			r.Vars, r.Clauses, state)
 	}
 
 	// The same machinery also answers satisfiable questions: at W+1 the
 	// instance is routable and the winner supplies the routing.
-	winner, _, err = portfolio.Run(conflict, w+1, members, 0)
+	winner, _, err = portfolio.RunObserved(context.Background(), conflict, w+1, members, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nat W=%d the portfolio finds a routing (winner %s, %d nets colored)\n",
 		w+1, winner.Strategy.Name(), len(winner.Colors))
+
+	fmt.Println("\ncollected telemetry:")
+	if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -8,6 +8,7 @@ package fpgasat
 // packages remain the implementation.
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"fpgasat/internal/fpga"
 	"fpgasat/internal/graph"
 	"fpgasat/internal/mcnc"
+	"fpgasat/internal/obs"
 	"fpgasat/internal/portfolio"
 	"fpgasat/internal/sat"
 	"fpgasat/internal/symmetry"
@@ -53,12 +55,24 @@ type (
 
 	// CNF is a formula in DIMACS literal convention.
 	CNF = sat.CNF
-	// SolverOptions configure the CDCL solver.
+	// SolverOptions configure the CDCL solver, including the Progress
+	// observability callback (invoked with SolverStats snapshots at
+	// restarts and periodically during search).
 	SolverOptions = sat.Options
+	// SolverStats counts solver work; also the payload of the
+	// SolverOptions.Progress callback.
+	SolverStats = sat.Stats
 	// SolveResult bundles status, model and statistics.
 	SolveResult = sat.Result
 	// Status is Sat, Unsat or Unknown.
 	Status = sat.Status
+
+	// Metrics is the observability registry: named counters, gauges
+	// and timers with per-stage spans; see NewMetrics.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a Metrics registry,
+	// serializable as JSON (WriteJSON) or a text report (WriteText).
+	MetricsSnapshot = obs.Snapshot
 
 	// Arch is an island-style FPGA array.
 	Arch = fpga.Arch
@@ -164,15 +178,42 @@ func Benchmarks() []Instance { return mcnc.Instances() }
 // BenchmarkByName looks up one benchmark instance.
 func BenchmarkByName(name string) (Instance, error) { return mcnc.ByName(name) }
 
+// NewMetrics returns an empty observability registry to pass to the
+// *Observed API variants and instrumented pipeline stages.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
 // SolveCNF runs the CDCL solver on a formula; stop (optional) cancels.
+//
+// Deprecated for new code: prefer SolveCNFContext, which accepts a
+// context.Context instead of a raw channel.
 func SolveCNF(c *CNF, opts SolverOptions, stop <-chan struct{}) SolveResult {
 	return sat.SolveCNF(c, opts, stop)
+}
+
+// SolveCNFContext is SolveCNF with context-based cancellation: the
+// solve returns Unknown promptly once ctx is cancelled or its deadline
+// passes.
+func SolveCNFContext(ctx context.Context, c *CNF, opts SolverOptions) SolveResult {
+	return sat.SolveCNFContext(ctx, c, opts)
 }
 
 // RunPortfolio solves the k-coloring of g with all strategies in
 // parallel, first definite answer wins (Sect. 6).
 func RunPortfolio(g *Graph, k int, strategies []Strategy, timeout time.Duration) (PortfolioResult, []PortfolioResult, error) {
 	return portfolio.Run(g, k, strategies, timeout)
+}
+
+// RunPortfolioContext is RunPortfolio with caller-controlled
+// cancellation (use context.WithTimeout for the classic timeout).
+func RunPortfolioContext(ctx context.Context, g *Graph, k int, strategies []Strategy) (PortfolioResult, []PortfolioResult, error) {
+	return portfolio.RunContext(ctx, g, k, strategies)
+}
+
+// RunPortfolioObserved is RunPortfolioContext with per-strategy
+// telemetry (encode/solve timers, CNF sizes, wins, winner margin)
+// recorded into m, which may be nil.
+func RunPortfolioObserved(ctx context.Context, g *Graph, k int, strategies []Strategy, m *Metrics) (PortfolioResult, []PortfolioResult, error) {
+	return portfolio.RunObserved(ctx, g, k, strategies, m)
 }
 
 // PaperPortfolio3 returns the paper's three-strategy portfolio.

@@ -2,6 +2,7 @@ package fpgasat_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -123,4 +124,66 @@ func TestPublicAPICSP(t *testing.T) {
 	if res.Status != fpgasat.Unsat {
 		t.Fatalf("triangle with 2 colors: %v", res.Status)
 	}
+}
+
+// TestPublicAPIObservability drives the context-based API variants and
+// the metrics registry through the facade: a portfolio run with
+// telemetry, a context solve with a Progress hook, and snapshot
+// serialization.
+func TestPublicAPIObservability(t *testing.T) {
+	netlist, err := fpgasat.Generate("obs", fpgasat.GenParams{
+		Rows: 5, Cols: 5, NumNets: 20, MinPins: 2, MaxPins: 3, Locality: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, _, err := fpgasat.RouteGlobal(netlist, fpgasat.RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict := global.ConflictGraph()
+	_, ub := fpgasat.DSATUR(conflict)
+
+	metrics := fpgasat.NewMetrics()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	winner, all, err := fpgasat.RunPortfolioObserved(ctx, conflict, ub, fpgasat.PaperPortfolio3(), metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner.Status != fpgasat.Sat {
+		t.Fatalf("status %v at DSATUR bound", winner.Status)
+	}
+	if err := fpgasat.VerifyColoring(conflict, winner.Colors, ub); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("expected 3 per-strategy results, got %d", len(all))
+	}
+	snap := metrics.Snapshot()
+	if len(snap.Timers) == 0 {
+		t.Fatal("portfolio run recorded no timers")
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "portfolio.solve.") {
+		t.Fatalf("metrics JSON missing per-strategy solve timer:\n%s", buf.String())
+	}
+
+	// Context solve with a Progress snapshot hook.
+	strategy, err := fpgasat.ParseStrategy("ITE-linear-2+muldirect/s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := strategy.EncodeGraph(conflict, ub)
+	var progressCalls int
+	res := fpgasat.SolveCNFContext(ctx, enc.CNF, fpgasat.SolverOptions{
+		Progress: func(st fpgasat.SolverStats) { progressCalls++ },
+	})
+	if res.Status != fpgasat.Sat {
+		t.Fatalf("context solve status %v", res.Status)
+	}
+	_ = progressCalls // tiny instances may finish before the first poll interval
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fpgasat/internal/sat"
@@ -108,20 +109,41 @@ func (e *Encoded) Decode(model []bool) ([]int, error) {
 	return colors, nil
 }
 
+// DecodeVerify decodes a satisfying assignment and verifies that the
+// result is a proper coloring within every domain — the flow's
+// end-to-end correctness guarantee.
+func (e *Encoded) DecodeVerify(model []bool) ([]int, error) {
+	colors, err := e.Decode(model)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.CSP.Verify(colors); err != nil {
+		return nil, fmt.Errorf("core: decoded solution invalid: %w", err)
+	}
+	return colors, nil
+}
+
 // Solve encodes nothing further: it runs the CDCL solver on the CNF
 // and, when satisfiable, decodes and verifies the coloring. The stop
 // channel (may be nil) cancels the solve when closed.
+//
+// Deprecated for new code: prefer SolveContext, which accepts a
+// context.Context instead of a raw channel.
 func (e *Encoded) Solve(opts sat.Options, stop <-chan struct{}) (sat.Status, []int, error) {
 	res := sat.SolveCNF(e.CNF, opts, stop)
 	if res.Status != sat.Sat {
 		return res.Status, nil, nil
 	}
-	colors, err := e.Decode(res.Model)
+	colors, err := e.DecodeVerify(res.Model)
 	if err != nil {
 		return res.Status, nil, err
 	}
-	if err := e.CSP.Verify(colors); err != nil {
-		return res.Status, nil, fmt.Errorf("core: decoded solution invalid: %w", err)
-	}
 	return sat.Sat, colors, nil
+}
+
+// SolveContext is Solve with context-based cancellation: the solve
+// returns Unknown promptly once ctx is cancelled or its deadline
+// passes.
+func (e *Encoded) SolveContext(ctx context.Context, opts sat.Options) (sat.Status, []int, error) {
+	return e.Solve(opts, ctx.Done())
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -41,25 +42,20 @@ func RunStrategy(g *graph.Graph, k int, s core.Strategy, translate time.Duration
 	enc := s.EncodeGraph(g, k)
 	encDur := time.Since(encStart)
 
-	var stop chan struct{}
-	var timer *time.Timer
+	ctx := context.Background()
 	if timeout > 0 {
-		stop = make(chan struct{})
-		timer = time.AfterFunc(timeout, func() { close(stop) })
-		defer timer.Stop()
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 	solveStart := time.Now()
-	res := sat.SolveCNF(enc.CNF, sat.Options{}, stop)
+	res := sat.SolveCNFContext(ctx, enc.CNF, sat.Options{})
 	solveDur := time.Since(solveStart)
 
 	// For satisfiable results, decoding and verification are part of
 	// the flow's correctness guarantee; include them in solve time.
 	if res.Status == sat.Sat {
-		colors, err := enc.Decode(res.Model)
-		if err == nil {
-			err = enc.CSP.Verify(colors)
-		}
-		if err != nil {
+		if _, err := enc.DecodeVerify(res.Model); err != nil {
 			panic(fmt.Sprintf("experiments: %s produced an invalid model: %v", s.Name(), err))
 		}
 		solveDur = time.Since(solveStart)

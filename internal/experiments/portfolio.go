@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"fpgasat/internal/core"
 	"fpgasat/internal/mcnc"
+	"fpgasat/internal/obs"
 	"fpgasat/internal/portfolio"
 	"fpgasat/internal/sat"
 )
@@ -17,6 +19,9 @@ type PortfolioConfig struct {
 	Instances []mcnc.Instance // defaults to mcnc.Table2Instances()
 	Timeout   time.Duration
 	Progress  io.Writer
+	// Obs, when non-nil, receives per-strategy portfolio telemetry
+	// (encode/solve timers, CNF sizes, wins, winner margin).
+	Obs *obs.Registry
 }
 
 // PortfolioResult compares the best single strategy against the
@@ -61,7 +66,13 @@ func RunPortfolio(cfg PortfolioConfig) (*PortfolioResult, error) {
 
 		for pi, members := range [][]core.Strategy{portfolio.PaperPortfolio2(), portfolio.PaperPortfolio3()} {
 			start := time.Now()
-			winner, _, err := portfolio.Run(g, w, members, cfg.Timeout)
+			ctx := context.Background()
+			cancel := context.CancelFunc(func() {})
+			if cfg.Timeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+			}
+			winner, _, err := portfolio.RunObserved(ctx, g, w, members, cfg.Obs)
+			cancel()
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s portfolio: %w", in.Name, err)
 			}

@@ -1,0 +1,272 @@
+// Package obs is the observability layer of the solve pipeline: a
+// lightweight metrics registry of named counters, gauges and timers,
+// plus spans for per-stage wall-clock timing (decompose / encode /
+// solve / decode and the per-strategy portfolio stages).
+//
+// Hot-path operations — Counter.Add, Gauge.Set, Timer.Observe and
+// Span.End — are single atomic updates and allocate nothing. Metric
+// lookup (Registry.Counter, Registry.Gauge, Registry.Timer) takes a
+// lock and should be hoisted out of loops: fetch the metric once,
+// then update it from the hot path.
+//
+// A Registry is safe for concurrent use by any number of goroutines;
+// Snapshot may be taken while writers are active and returns a
+// consistent-enough point-in-time view (each metric is read
+// atomically, but the set of metrics is not frozen as a whole).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric (e.g. solves started,
+// portfolio wins per strategy).
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the value to stay monotonic;
+// this is not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time value that may go up or down (e.g. learnt
+// clause database size, CNF variable count).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Timer accumulates duration observations: count, total, min and max,
+// all in nanoseconds, updated atomically.
+type Timer struct {
+	count atomic.Int64
+	total atomic.Int64
+	min   atomic.Int64 // math.MaxInt64 until the first observation
+	max   atomic.Int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	ns := int64(d)
+	t.count.Add(1)
+	t.total.Add(ns)
+	for {
+		cur := t.min.Load()
+		if ns >= cur || t.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := t.max.Load()
+		if ns <= cur || t.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Stats returns the timer's aggregate statistics.
+func (t *Timer) Stats() TimerStats {
+	s := TimerStats{
+		Count: t.count.Load(),
+		Total: time.Duration(t.total.Load()),
+		Max:   time.Duration(t.max.Load()),
+	}
+	if min := t.min.Load(); min != math.MaxInt64 {
+		s.Min = time.Duration(min)
+	}
+	if s.Count > 0 {
+		s.Mean = s.Total / time.Duration(s.Count)
+	}
+	return s
+}
+
+// TimerStats is the snapshot of one Timer. Durations serialize to JSON
+// as integer nanoseconds.
+type TimerStats struct {
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+}
+
+// Span is an in-flight timing measurement for one pipeline stage.
+// It is a value type: starting and ending a span allocates nothing.
+type Span struct {
+	t     *Timer
+	start time.Time
+}
+
+// End stops the span, records its duration into the backing timer and
+// returns the duration. End must be called at most once.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.t != nil {
+		s.t.Observe(d)
+	}
+	return d
+}
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; call NewRegistry. A nil *Registry is a valid no-op sink for
+// StartSpan (the returned span discards its measurement), which lets
+// instrumented code skip nil checks.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the timer with the given name, creating it on first
+// use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		t.min.Store(math.MaxInt64)
+		r.timers[name] = t
+	}
+	return t
+}
+
+// StartSpan begins timing one stage; Span.End records the duration
+// into the timer of the same name. On a nil Registry the span is a
+// no-op (End still returns the elapsed time).
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{start: time.Now()}
+	}
+	return Span{t: r.Timer(name), start: time.Now()}
+}
+
+// Snapshot is a point-in-time copy of every metric in a Registry.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters,omitempty"`
+	Gauges   map[string]int64      `json:"gauges,omitempty"`
+	Timers   map[string]TimerStats `json:"timers,omitempty"`
+}
+
+// Snapshot copies the current value of every metric. It is safe to
+// call while other goroutines are updating metrics.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
+		Timers:   make(map[string]TimerStats, len(r.timers)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, t := range r.timers {
+		s.Timers[name] = t.Stats()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot as a human-readable report: timers
+// first (the per-stage timing table), then gauges and counters, each
+// section sorted by name.
+func (s Snapshot) WriteText(w io.Writer) error {
+	if len(s.Timers) > 0 {
+		if _, err := fmt.Fprintf(w, "%-40s %8s %12s %12s %12s\n",
+			"timer", "count", "total", "mean", "max"); err != nil {
+			return err
+		}
+		for _, name := range sortedKeys(s.Timers) {
+			t := s.Timers[name]
+			if _, err := fmt.Fprintf(w, "%-40s %8d %12s %12s %12s\n",
+				name, t.Count, round(t.Total), round(t.Mean), round(t.Max)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%-40s %21d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%-40s %21d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

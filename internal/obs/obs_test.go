@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("solves")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("solves") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+	g := r.Gauge("depth")
+	g.Set(42)
+	g.Add(-2)
+	if got := g.Value(); got != 40 {
+		t.Fatalf("gauge = %d, want 40", got)
+	}
+}
+
+func TestTimerStats(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("stage")
+	tm.Observe(10 * time.Millisecond)
+	tm.Observe(30 * time.Millisecond)
+	s := tm.Stats()
+	if s.Count != 2 || s.Total != 40*time.Millisecond {
+		t.Fatalf("count=%d total=%v", s.Count, s.Total)
+	}
+	if s.Min != 10*time.Millisecond || s.Max != 30*time.Millisecond {
+		t.Fatalf("min=%v max=%v", s.Min, s.Max)
+	}
+	if s.Mean != 20*time.Millisecond {
+		t.Fatalf("mean=%v", s.Mean)
+	}
+}
+
+func TestEmptyTimerStats(t *testing.T) {
+	s := NewRegistry().Timer("never").Stats()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Mean != 0 || s.Total != 0 {
+		t.Fatalf("zero timer stats = %+v", s)
+	}
+}
+
+func TestSpanRecordsIntoTimer(t *testing.T) {
+	r := NewRegistry()
+	span := r.StartSpan("encode")
+	time.Sleep(time.Millisecond)
+	d := span.End()
+	if d <= 0 {
+		t.Fatalf("span duration %v", d)
+	}
+	s := r.Timer("encode").Stats()
+	if s.Count != 1 || s.Total != d {
+		t.Fatalf("timer did not record the span: %+v (span %v)", s, d)
+	}
+}
+
+func TestNilRegistrySpanIsNoop(t *testing.T) {
+	var r *Registry
+	span := r.StartSpan("anything")
+	if d := span.End(); d < 0 {
+		t.Fatalf("nil-registry span duration %v", d)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wins").Add(3)
+	r.Gauge("vars").Set(100)
+	r.Timer("solve").Observe(time.Second)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if got.Counters["wins"] != 3 || got.Gauges["vars"] != 100 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if ts := got.Timers["solve"]; ts.Count != 1 || ts.Total != time.Second {
+		t.Fatalf("timer round-trip mismatch: %+v", ts)
+	}
+}
+
+func TestSnapshotText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("portfolio.wins.a").Inc()
+	r.Gauge("solver.conflicts").Set(7)
+	r.Timer("pipeline.solve").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"portfolio.wins.a", "solver.conflicts", "pipeline.solve"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			tm := r.Timer("work")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				tm.Observe(time.Duration(j))
+				r.Gauge("last").Set(int64(j))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 100; j++ {
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+	if s := r.Timer("work").Stats(); s.Count != 8000 || s.Min != 0 || s.Max != 999 {
+		t.Fatalf("timer stats = %+v", s)
+	}
+}

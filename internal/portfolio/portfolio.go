@@ -2,49 +2,86 @@
 // strategies on the same detailed-routing problem in parallel and
 // returns the first answer, cancelling the rest — the multicore
 // portfolio approach of the paper's Sect. 6. Each strategy runs in its
-// own goroutine with its own solver; the SAT solvers poll a shared
-// stop channel so losers terminate promptly once a winner reports.
+// own goroutine with its own solver; cancellation is context-based, so
+// losers terminate promptly once a winner reports, and a caller's
+// timeout or cancel propagates to every member.
 package portfolio
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"fpgasat/internal/core"
 	"fpgasat/internal/graph"
+	"fpgasat/internal/obs"
 	"fpgasat/internal/sat"
+)
+
+// Metric names emitted by RunObserved. Per-strategy metrics append
+// "." plus the strategy name (e.g. "portfolio.solve.ITE-log/s1").
+const (
+	MetricEncode       = "portfolio.encode"           // timer: CNF generation per strategy
+	MetricSolve        = "portfolio.solve"            // timer: SAT solve + decode per strategy
+	MetricCNFVars      = "portfolio.cnf_vars"         // gauge per strategy
+	MetricCNFClauses   = "portfolio.cnf_clauses"      // gauge per strategy
+	MetricWins         = "portfolio.wins"             // counter per strategy
+	MetricWinnerMargin = "portfolio.winner_margin_ns" // gauge: runner-up lag behind the winner
 )
 
 // Result is the outcome of one strategy within a portfolio run.
 type Result struct {
 	Strategy core.Strategy
 	Status   sat.Status
-	Colors   []int // decoded coloring for Sat results from the winner
+	Colors   []int // decoded coloring for Sat results
 	Elapsed  time.Duration
-	Winner   bool
-	Err      error
+	// Telemetry: where the strategy's time went and how big its CNF
+	// was. EncodeTime + SolveTime ≈ Elapsed.
+	EncodeTime time.Duration
+	SolveTime  time.Duration
+	Vars       int
+	Clauses    int
+	Stats      sat.Stats
+	Winner     bool
+	Err        error
 }
 
 // Run solves the k-coloring of g with all strategies concurrently.
 // The first strategy to reach Sat or Unsat wins and the others are
 // cancelled (they report Unknown). A zero timeout means no timeout.
 // It returns the winning result and the per-strategy results in input
-// order. An error is returned only if no strategy produced an answer.
+// order. An error is returned if no strategy produced an answer, or if
+// two strategies produced contradictory definite answers (an encoding
+// soundness bug that must not be masked by crowning the faster one).
 func Run(g *graph.Graph, k int, strategies []core.Strategy, timeout time.Duration) (Result, []Result, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return RunContext(ctx, g, k, strategies)
+}
+
+// RunContext is Run with caller-controlled cancellation: the run ends
+// early when ctx is cancelled or its deadline passes (use
+// context.WithTimeout for the classic timeout behaviour).
+func RunContext(ctx context.Context, g *graph.Graph, k int, strategies []core.Strategy) (Result, []Result, error) {
+	return RunObserved(ctx, g, k, strategies, nil)
+}
+
+// RunObserved is RunContext with per-strategy telemetry recorded into
+// reg (which may be nil): encode and solve timers, CNF size gauges,
+// win counters and the winner margin — how long after the winner the
+// next definite answer (or cancelled loser) finished, i.e. the
+// cancellation latency the portfolio pays.
+func RunObserved(ctx context.Context, g *graph.Graph, k int, strategies []core.Strategy, reg *obs.Registry) (Result, []Result, error) {
 	if len(strategies) == 0 {
 		return Result{}, nil, fmt.Errorf("portfolio: no strategies")
 	}
-	stop := make(chan struct{})
-	var stopOnce sync.Once
-	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-
-	var timer *time.Timer
-	if timeout > 0 {
-		timer = time.AfterFunc(timeout, cancel)
-		defer timer.Stop()
-	}
 
 	results := make([]Result, len(strategies))
 	var wg sync.WaitGroup
@@ -52,33 +89,17 @@ func Run(g *graph.Graph, k int, strategies []core.Strategy, timeout time.Duratio
 		wg.Add(1)
 		go func(i int, s core.Strategy) {
 			defer wg.Done()
-			start := time.Now()
-			enc := s.EncodeGraph(g, k)
-			st, colors, err := enc.Solve(sat.Options{}, stop)
-			results[i] = Result{
-				Strategy: s,
-				Status:   st,
-				Colors:   colors,
-				Elapsed:  time.Since(start),
-				Err:      err,
-			}
-			if st != sat.Unknown && err == nil {
+			results[i] = runStrategy(runCtx, g, k, s, reg)
+			if r := &results[i]; r.Err == nil && r.Status != sat.Unknown {
 				cancel() // first definite answer terminates the rest
 			}
 		}(i, s)
 	}
 	wg.Wait()
 
-	// The winner is the strategy with a definite answer that finished
-	// first.
-	winner := -1
-	for i, r := range results {
-		if r.Err != nil || r.Status == sat.Unknown {
-			continue
-		}
-		if winner < 0 || r.Elapsed < results[winner].Elapsed {
-			winner = i
-		}
+	winner, err := combine(results)
+	if err != nil {
+		return Result{}, results, err
 	}
 	if winner < 0 {
 		for _, r := range results {
@@ -90,7 +111,101 @@ func Run(g *graph.Graph, k int, strategies []core.Strategy, timeout time.Duratio
 		return Result{}, results, fmt.Errorf("portfolio: no strategy answered within the timeout")
 	}
 	results[winner].Winner = true
+	if reg != nil {
+		reg.Counter(MetricWins + "." + results[winner].Strategy.Name()).Inc()
+		if margin, ok := winnerMargin(results, winner); ok {
+			reg.Gauge(MetricWinnerMargin).Set(int64(margin))
+		}
+	}
 	return results[winner], results, nil
+}
+
+// runStrategy executes one portfolio member: encode, solve, decode,
+// with per-stage telemetry.
+func runStrategy(ctx context.Context, g *graph.Graph, k int, s core.Strategy, reg *obs.Registry) Result {
+	res := Result{Strategy: s, Status: sat.Unknown}
+	if ctx.Err() != nil {
+		return res // cancelled before this member even encoded
+	}
+	name := s.Name()
+	start := time.Now()
+
+	span := reg.StartSpan(MetricEncode + "." + name)
+	enc := s.EncodeGraph(g, k)
+	res.EncodeTime = span.End()
+	res.Vars = enc.CNF.NumVars
+	res.Clauses = enc.CNF.NumClauses()
+	if reg != nil {
+		reg.Gauge(MetricCNFVars + "." + name).Set(int64(res.Vars))
+		reg.Gauge(MetricCNFClauses + "." + name).Set(int64(res.Clauses))
+	}
+
+	span = reg.StartSpan(MetricSolve + "." + name)
+	sr := sat.SolveCNFContext(ctx, enc.CNF, sat.Options{})
+	res.Status = sr.Status
+	res.Stats = sr.Stats
+	if sr.Status == sat.Sat {
+		res.Colors, res.Err = enc.DecodeVerify(sr.Model)
+	}
+	res.SolveTime = span.End()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// combine selects the winner (the fastest error-free definite answer)
+// and detects contradictory definite answers: if one strategy proved
+// Sat and another proved Unsat, at least one encoding is unsound and
+// the disagreement must surface as a loud error rather than being
+// resolved in favour of the faster strategy.
+func combine(results []Result) (winner int, err error) {
+	winner = -1
+	firstSat, firstUnsat := -1, -1
+	for i, r := range results {
+		if r.Err != nil || r.Status == sat.Unknown {
+			continue
+		}
+		switch r.Status {
+		case sat.Sat:
+			if firstSat < 0 {
+				firstSat = i
+			}
+		case sat.Unsat:
+			if firstUnsat < 0 {
+				firstUnsat = i
+			}
+		}
+		if winner < 0 || r.Elapsed < results[winner].Elapsed {
+			winner = i
+		}
+	}
+	if firstSat >= 0 && firstUnsat >= 0 {
+		return -1, fmt.Errorf(
+			"portfolio: contradictory answers: strategy %s reports Sat but strategy %s reports Unsat; at least one encoding is unsound",
+			results[firstSat].Strategy.Name(), results[firstUnsat].Strategy.Name())
+	}
+	return winner, nil
+}
+
+// winnerMargin returns how much later the best non-winning strategy
+// finished. For cancelled losers this measures cancellation latency.
+func winnerMargin(results []Result, winner int) (time.Duration, bool) {
+	best := time.Duration(-1)
+	for i, r := range results {
+		if i == winner {
+			continue
+		}
+		if best < 0 || r.Elapsed < best {
+			best = r.Elapsed
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	margin := best - results[winner].Elapsed
+	if margin < 0 {
+		margin = 0 // a loser can time-stamp earlier than the winner's own Elapsed
+	}
+	return margin, true
 }
 
 // Strategies parses a list of strategy specs ("encoding/heuristic").

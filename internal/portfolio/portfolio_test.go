@@ -1,13 +1,17 @@
 package portfolio
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
 	"fpgasat/internal/coloring"
 	"fpgasat/internal/core"
 	"fpgasat/internal/graph"
+	"fpgasat/internal/obs"
 	"fpgasat/internal/sat"
 )
 
@@ -75,6 +79,114 @@ func TestRunTimeout(t *testing.T) {
 	g := graph.Random(rng, 120, 0.5)
 	if _, _, err := Run(g, 9, PaperPortfolio2(), time.Microsecond); err == nil {
 		t.Skip("instance solved within a microsecond; timeout path not exercised")
+	}
+}
+
+// TestCombineDetectsDisagreement is the regression test for the
+// silent-disagreement bug: when one strategy returns Sat and another
+// Unsat (an encoding soundness bug), Run used to crown the faster one
+// instead of failing loudly.
+func TestCombineDetectsDisagreement(t *testing.T) {
+	ss, err := Strategies("ITE-log/s1", "muldirect/-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []Result{
+		{Strategy: ss[0], Status: sat.Sat, Elapsed: time.Second},
+		{Strategy: ss[1], Status: sat.Unsat, Elapsed: 2 * time.Second},
+	}
+	if _, err := combine(results); err == nil {
+		t.Fatal("contradictory Sat/Unsat answers accepted silently")
+	} else {
+		msg := err.Error()
+		for _, name := range []string{ss[0].Name(), ss[1].Name()} {
+			if !strings.Contains(msg, name) {
+				t.Fatalf("disagreement error does not identify strategy %s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestCombineIgnoresErroredAndUnknown(t *testing.T) {
+	ss, err := Strategies("ITE-log/s1", "muldirect/-", "direct/-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []Result{
+		{Strategy: ss[0], Status: sat.Sat, Elapsed: time.Second, Err: errBroken},
+		{Strategy: ss[1], Status: sat.Unknown, Elapsed: time.Second},
+		{Strategy: ss[2], Status: sat.Unsat, Elapsed: 3 * time.Second},
+	}
+	winner, err := combine(results)
+	if err != nil {
+		t.Fatalf("errored Sat result should not count as a disagreement: %v", err)
+	}
+	if winner != 2 {
+		t.Fatalf("winner = %d, want 2", winner)
+	}
+}
+
+var errBroken = fmt.Errorf("broken strategy")
+
+// TestRunTelemetryPopulated asserts that every strategy's Result
+// carries per-stage telemetry and that RunObserved mirrors it into the
+// registry.
+func TestRunTelemetryPopulated(t *testing.T) {
+	g := graph.Complete(6)
+	strategies := PaperPortfolio3()
+	reg := obs.NewRegistry()
+	winner, all, err := RunObserved(context.Background(), g, 6, strategies, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner.Status != sat.Sat {
+		t.Fatalf("K6 with 6 colors: %v", winner.Status)
+	}
+	if winner.EncodeTime <= 0 || winner.SolveTime <= 0 ||
+		winner.Vars == 0 || winner.Clauses == 0 {
+		t.Fatalf("winner telemetry not populated: %+v", winner)
+	}
+	if winner.Stats.Decisions == 0 && winner.Stats.Propagations == 0 {
+		t.Fatalf("winner solver stats empty: %+v", winner.Stats)
+	}
+	for _, r := range all {
+		if r.Status == sat.Unknown && r.EncodeTime == 0 {
+			continue // cancelled before encoding started
+		}
+		if r.EncodeTime <= 0 || r.Vars == 0 || r.Clauses == 0 {
+			t.Fatalf("strategy %s telemetry not populated: %+v", r.Strategy.Name(), r)
+		}
+	}
+	snap := reg.Snapshot()
+	name := winner.Strategy.Name()
+	if ts := snap.Timers[MetricSolve+"."+name]; ts.Count == 0 {
+		t.Fatalf("registry missing solve timer for winner %s: %+v", name, snap.Timers)
+	}
+	if ts := snap.Timers[MetricEncode+"."+name]; ts.Count == 0 {
+		t.Fatalf("registry missing encode timer for winner %s", name)
+	}
+	if v := snap.Gauges[MetricCNFVars+"."+name]; v == 0 {
+		t.Fatalf("registry missing CNF vars gauge for winner %s", name)
+	}
+	if snap.Counters[MetricWins+"."+name] != 1 {
+		t.Fatalf("registry missing win counter for %s: %+v", name, snap.Counters)
+	}
+	if _, ok := snap.Gauges[MetricWinnerMargin]; !ok {
+		t.Fatalf("registry missing winner margin gauge: %+v", snap.Gauges)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, all, err := RunContext(ctx, graph.Complete(8), 7, PaperPortfolio3())
+	if err == nil {
+		t.Fatal("pre-cancelled context produced an answer")
+	}
+	for _, r := range all {
+		if r.Status != sat.Unknown {
+			t.Fatalf("strategy %s ran to %v under a cancelled context", r.Strategy.Name(), r.Status)
+		}
 	}
 }
 

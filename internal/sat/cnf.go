@@ -1,6 +1,9 @@
 package sat
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // CNF is a formula in conjunctive normal form with literals in DIMACS
 // convention: variables are 1-based, a negative integer is a negated
@@ -87,9 +90,20 @@ type Result struct {
 	Stats Stats
 }
 
+// SolveCNFContext is SolveCNF with context-based cancellation: the
+// solve returns Unknown promptly once ctx is cancelled or its deadline
+// passes. This is the preferred cancellation API; the stop-channel
+// parameter of SolveCNF is retained for backward compatibility.
+func SolveCNFContext(ctx context.Context, c *CNF, opts Options) Result {
+	return SolveCNF(c, opts, ctx.Done())
+}
+
 // SolveCNF is a convenience wrapper: load the formula into a fresh
 // solver with the given options and solve it. The stop channel, when
 // non-nil, cancels the solve when closed (used by portfolio runs).
+//
+// Deprecated for new code: prefer SolveCNFContext, which accepts a
+// context.Context instead of a raw channel.
 func SolveCNF(c *CNF, opts Options, stop <-chan struct{}) Result {
 	s := New(opts)
 	if !s.Load(c) {

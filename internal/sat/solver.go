@@ -24,7 +24,9 @@ type watch struct {
 	blocker Lit
 }
 
-// Stats counts solver work. It is valid after Solve returns.
+// Stats counts solver work. It is valid after Solve returns and is
+// also delivered, as a point-in-time snapshot, to the Options.Progress
+// callback during a solve.
 type Stats struct {
 	Decisions    int64
 	Propagations int64
@@ -33,6 +35,11 @@ type Stats struct {
 	Learnt       int64 // learnt clauses added
 	Removed      int64 // learnt clauses deleted by reduceDB
 	MaxTrail     int   // deepest trail seen
+	// LearntDB and TrailDepth are point-in-time values filled in for
+	// Progress snapshots: the current learnt-clause database size and
+	// the current assignment-trail depth.
+	LearntDB   int
+	TrailDepth int
 }
 
 // Options configure a Solver. The zero value selects defaults.
@@ -66,8 +73,18 @@ type Options struct {
 	ProofWriter io.Writer
 	// LearntLimit, when positive, caps the learnt-clause database size
 	// that triggers deletion (default max(#clauses/3, 5000)); smaller
-	// values bound memory at the cost of relearning.
+	// values bound memory at the cost of relearning. The cap is a hard
+	// ceiling: the usual geometric growth of the deletion threshold
+	// across restarts never exceeds it.
 	LearntLimit int
+	// Progress, when non-nil, is invoked with a Stats snapshot at every
+	// restart and periodically during search (every
+	// progressDecisionInterval decisions or progressPropagationInterval
+	// propagations, whichever comes first), so that long conflict-free
+	// propagation phases remain visible. The callback runs on the
+	// solving goroutine and must return promptly; it must not call back
+	// into the Solver except for Stop.
+	Progress func(Stats)
 }
 
 // Profile is a named solver configuration. The paper compared two
@@ -132,6 +149,11 @@ type Solver struct {
 	stopped atomic.Bool
 	proof   *proofLogger
 
+	// Next Stats.Decisions / Stats.Propagations values at which search
+	// polls stopped and fires the Progress callback.
+	pollDecisions    int64
+	pollPropagations int64
+
 	model []bool
 	Stats Stats
 }
@@ -141,6 +163,17 @@ const (
 	defaultVarDecay    = 0.95
 	clauseDecay        = 0.999
 	defaultRestartBase = 100 // conflicts per Luby unit
+)
+
+// In-search polling intervals: stopped is checked (and Progress fired)
+// after this many decisions or propagations, whichever comes first, in
+// addition to the per-1024-conflicts check. The decision interval
+// bounds cancellation latency on conflict-free searches, where neither
+// conflicts nor restarts ever occur; the propagation interval bounds it
+// on long unit-propagation phases with few decisions.
+const (
+	progressDecisionInterval    = 1 << 10
+	progressPropagationInterval = 1 << 17
 )
 
 // New creates a solver with the given options.
@@ -557,11 +590,38 @@ func (s *Solver) Stop() { s.stopped.Store(true) }
 // Stopped reports whether Stop has been called.
 func (s *Solver) Stopped() bool { return s.stopped.Load() }
 
+// snapshotStats returns the cumulative counters plus the current
+// learnt-DB size and trail depth, the payload of a Progress callback.
+func (s *Solver) snapshotStats() Stats {
+	st := s.Stats
+	st.LearntDB = len(s.learnts)
+	st.TrailDepth = len(s.trail)
+	return st
+}
+
+// poll checks the stop flag and fires the Progress callback once a
+// decision or propagation interval has elapsed. It returns true when
+// the solve has been cancelled.
+func (s *Solver) poll() (cancelled bool) {
+	if s.Stats.Decisions < s.pollDecisions && s.Stats.Propagations < s.pollPropagations {
+		return false
+	}
+	s.pollDecisions = s.Stats.Decisions + progressDecisionInterval
+	s.pollPropagations = s.Stats.Propagations + progressPropagationInterval
+	if s.opts.Progress != nil {
+		s.opts.Progress(s.snapshotStats())
+	}
+	return s.stopped.Load()
+}
+
 // search runs CDCL for at most nofConflicts conflicts and returns the
 // status (Unknown means "restart budget exhausted").
 func (s *Solver) search(nofConflicts int64) Status {
 	var conflictC int64
 	for {
+		if s.poll() {
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.Stats.Conflicts++
@@ -647,6 +707,8 @@ func (s *Solver) Solve() Status {
 	if s.opts.LearntLimit > 0 {
 		s.maxLearnts = float64(s.opts.LearntLimit)
 	}
+	s.pollDecisions = s.Stats.Decisions + progressDecisionInterval
+	s.pollPropagations = s.Stats.Propagations + progressPropagationInterval
 	var curRestarts int64
 	for {
 		if s.stopped.Load() {
@@ -681,6 +743,14 @@ func (s *Solver) Solve() Status {
 		curRestarts++
 		s.Stats.Restarts++
 		s.maxLearnts *= 1.05
+		// LearntLimit is a hard ceiling: geometric growth of the
+		// deletion threshold must not drift past the configured cap.
+		if lim := s.opts.LearntLimit; lim > 0 && s.maxLearnts > float64(lim) {
+			s.maxLearnts = float64(lim)
+		}
+		if s.opts.Progress != nil {
+			s.opts.Progress(s.snapshotStats())
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -353,6 +354,129 @@ func TestDisablePhaseSaving(t *testing.T) {
 		if res.Status != want {
 			t.Fatalf("trial %d: got %v, want %v", trial, res.Status, want)
 		}
+	}
+}
+
+// TestLearntLimitClampedAcrossRestarts is the regression test for the
+// LearntLimit drift bug: the deletion threshold used to grow by 1.05×
+// per restart even when the user configured a hard cap, silently
+// exceeding the memory bound on long runs.
+func TestLearntLimitClampedAcrossRestarts(t *testing.T) {
+	const limit = 100
+	s := New(Options{LearntLimit: limit, RestartBase: 10})
+	s.Load(php(9, 8))
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat", st)
+	}
+	if s.Stats.Restarts == 0 {
+		t.Fatal("test needs restarts to exercise threshold growth")
+	}
+	if s.maxLearnts > limit {
+		t.Fatalf("maxLearnts drifted to %v after %d restarts; LearntLimit=%d",
+			s.maxLearnts, s.Stats.Restarts, limit)
+	}
+}
+
+// TestLearntLimitKeepsDeletionActive checks the observable consequence
+// of the clamp: with a small cap the deletion threshold stays small
+// across restarts, so reduceDB keeps firing (Removed grows) instead of
+// the threshold drifting out of reach.
+func TestLearntLimitKeepsDeletionActive(t *testing.T) {
+	s := New(Options{LearntLimit: 50, RestartBase: 10})
+	s.Load(php(9, 8))
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat", st)
+	}
+	if s.Stats.Removed == 0 {
+		t.Fatalf("reduceDB never fired under LearntLimit=50 (%d learnt, %d restarts)",
+			s.Stats.Learnt, s.Stats.Restarts)
+	}
+}
+
+// TestStopDuringConflictFreeSearch is the regression test for the
+// cancellation-latency bug: stopped used to be polled only every 1024
+// conflicts and at restart boundaries, so a search that never
+// conflicts (here: a formula with no clauses at all, where every
+// decision just extends the trail) could not be cancelled at all.
+func TestStopDuringConflictFreeSearch(t *testing.T) {
+	const numVars = 200000
+	const stopAt = 2048
+	var s *Solver
+	s = New(Options{
+		Progress: func(st Stats) {
+			if st.Decisions >= stopAt {
+				s.Stop()
+			}
+		},
+	})
+	for i := 0; i < numVars; i++ {
+		s.NewVar()
+	}
+	st := s.Solve()
+	if st != Unknown {
+		t.Fatalf("got %v, want Unknown (Stop ignored during conflict-free search)", st)
+	}
+	// The solver must notice the stop within one polling interval.
+	const bound = stopAt + 3*progressDecisionInterval
+	if s.Stats.Decisions > bound {
+		t.Fatalf("solver made %d decisions after Stop at %d (bound %d)",
+			s.Stats.Decisions, stopAt, bound)
+	}
+}
+
+// TestProgressSnapshots checks the Progress callback contract: it
+// fires during the solve, its snapshots carry the point-in-time
+// LearntDB/TrailDepth fields, and cumulative counters never decrease.
+func TestProgressSnapshots(t *testing.T) {
+	var calls int
+	var prev Stats
+	s := New(Options{
+		RestartBase: 10,
+		Progress: func(st Stats) {
+			calls++
+			if st.Conflicts < prev.Conflicts || st.Decisions < prev.Decisions ||
+				st.Propagations < prev.Propagations || st.Restarts < prev.Restarts {
+				t.Fatalf("cumulative counters went backwards: %+v after %+v", st, prev)
+			}
+			if st.LearntDB < 0 || st.TrailDepth < 0 || st.TrailDepth > st.MaxTrail {
+				t.Fatalf("inconsistent snapshot: %+v", st)
+			}
+			prev = st
+		},
+	})
+	s.Load(php(8, 7))
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat", st)
+	}
+	if calls == 0 {
+		t.Fatal("Progress never invoked")
+	}
+	if prev.Restarts == 0 {
+		t.Fatal("Progress not invoked at restart boundaries")
+	}
+}
+
+func TestSolveCNFContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cnf := php(11, 10)
+	done := make(chan Result, 1)
+	go func() { done <- SolveCNFContext(ctx, cnf, Options{}) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		if res.Status == Sat {
+			t.Fatal("PHP(11,10) reported Sat")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("solver did not stop after context cancellation")
+	}
+}
+
+func TestSolveCNFContextBackground(t *testing.T) {
+	res := SolveCNFContext(context.Background(), php(6, 6), Options{})
+	if res.Status != Sat {
+		t.Fatalf("got %v, want Sat", res.Status)
 	}
 }
 
