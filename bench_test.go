@@ -8,6 +8,7 @@
 package fpgasat_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"fpgasat/internal/mcnc"
 	"fpgasat/internal/portfolio"
 	"fpgasat/internal/sat"
+	"fpgasat/internal/search"
 )
 
 // benchInstances returns the Table 2 instances measured by default:
@@ -174,6 +176,100 @@ func BenchmarkEncodingSizes(b *testing.B) {
 			}
 			b.ReportMetric(float64(clauses), "clauses")
 		})
+	}
+}
+
+// countSink is a minimal ClauseSink: it absorbs clauses without
+// retaining them, isolating pure emission cost from CNF storage.
+type countSink struct{ clauses int }
+
+func (s *countSink) AddClause(lits ...int) { s.clauses++ }
+
+// BenchmarkEncodeMaterialized measures the classic pipeline step:
+// build the full CNF clause list in memory (the input to DIMACS export
+// or a fresh solver).
+func BenchmarkEncodeMaterialized(b *testing.B) {
+	in := mustInstance(b, "9symml")
+	g := mustGraph(b, in)
+	csp := core.NewCSP(g, in.UnroutableW())
+	enc, err := core.ByName("ITE-linear-2+muldirect")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e := core.Encode(csp, enc); e.CNF.NumClauses() == 0 {
+			b.Fatal("empty CNF")
+		}
+	}
+}
+
+// BenchmarkEncodeInto measures the same encoding streamed through the
+// ClauseSink interface with no CNF buffer — the path the incremental
+// search uses to feed a solver directly.
+func BenchmarkEncodeInto(b *testing.B) {
+	in := mustInstance(b, "9symml")
+	g := mustGraph(b, in)
+	csp := core.NewCSP(g, in.UnroutableW())
+	enc, err := core.ByName("ITE-linear-2+muldirect")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink := &countSink{}
+		if st := core.EncodeInto(csp, enc, sink); sink.clauses == 0 || st.NumVars == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+// BenchmarkMinWidthSingleShot measures the pre-incremental width
+// search: one fresh encode + solve per width, descending from the
+// DSATUR bound until the Unsat proof.
+func BenchmarkMinWidthSingleShot(b *testing.B) {
+	in := mustInstance(b, "9symml")
+	g := mustGraph(b, in)
+	s := mustStrategy(b, "ITE-linear-2+muldirect/s1")
+	hi := in.RoutableW + 1
+	for i := 0; i < b.N; i++ {
+		found := 0
+		for w := hi; w >= 1; w-- {
+			e := core.Encode(core.BuildCSP(g, w, s.Symmetry), s.Encoding)
+			res := sat.SolveCNF(e.CNF, sat.Options{}, nil)
+			if res.Status != sat.Sat {
+				break
+			}
+			found = w
+		}
+		if found != in.RoutableW {
+			b.Fatalf("found W=%d, want %d", found, in.RoutableW)
+		}
+	}
+}
+
+// BenchmarkMinWidthIncremental measures the same search on one
+// incremental solver: a single encode at the upper bound, then one
+// assumption probe per width with learnt clauses carried across
+// probes. Compare against BenchmarkMinWidthSingleShot.
+func BenchmarkMinWidthIncremental(b *testing.B) {
+	in := mustInstance(b, "9symml")
+	g := mustGraph(b, in)
+	s := mustStrategy(b, "ITE-linear-2+muldirect/s1")
+	hi := in.RoutableW + 1
+	for i := 0; i < b.N; i++ {
+		res, err := search.MinWidth(context.Background(), g, search.Options{
+			Strategy: s,
+			Lo:       1,
+			Hi:       hi,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MinWidth != in.RoutableW || !res.ProvedOptimal {
+			b.Fatalf("MinWidth=%d ProvedOptimal=%v, want %d/true",
+				res.MinWidth, res.ProvedOptimal, in.RoutableW)
+		}
 	}
 }
 

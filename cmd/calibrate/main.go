@@ -5,22 +5,30 @@
 // produced (and re-checks) the RoutableW values baked into package
 // mcnc.
 //
+// The chromatic number is measured with the incremental width search
+// (mcnc.FindChi): one encode at the DSATUR upper bound, then one
+// selector-assumption probe per width on a single solver that keeps
+// its learnt clauses across widths. The indicative timing columns
+// deliberately remain fresh single-shot solves, since they measure a
+// strategy's cost on one decision problem.
+//
 // Usage:
 //
-//	calibrate [-instance name] [-timeout seconds]
+//	calibrate [-instance name] [-timeout seconds] [-metrics-out file]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
-	"fpgasat/internal/coloring"
 	"fpgasat/internal/core"
 	"fpgasat/internal/graph"
 	"fpgasat/internal/mcnc"
+	"fpgasat/internal/obs"
 	"fpgasat/internal/sat"
 )
 
@@ -29,6 +37,7 @@ func main() {
 	log.SetPrefix("calibrate: ")
 	instName := flag.String("instance", "", "calibrate a single instance (default all)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-solve timeout")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (incremental search timers, learnt-clause reuse) to this file")
 	flag.Parse()
 
 	insts := mcnc.Instances()
@@ -49,6 +58,7 @@ func main() {
 		log.Fatal(err)
 	}
 
+	reg := obs.NewRegistry()
 	fmt.Printf("%-10s %6s %7s %4s %4s %4s | %11s %11s %11s\n",
 		"instance", "V", "E", "clq", "dsat", "chi", "unsat-fast", "unsat-slow", "sat-fast")
 	exit := 0
@@ -57,53 +67,66 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		clique := len(coloring.GreedyClique(g))
-		_, ub := coloring.DSATUR(g)
 
-		// Find chi with the fast strategy, descending from the DSATUR
-		// upper bound.
-		chi := ub
-		for k := ub - 1; k >= clique && k >= 1; k-- {
-			st, dur := solveGraph(fast, g, k, *timeout)
-			if st == sat.Unknown {
-				fmt.Fprintf(os.Stderr, "  %s: k=%d timed out after %v\n", in.Name, k, dur)
-				break
-			}
-			if st == sat.Unsat {
-				break
-			}
-			chi = k
+		chi, err := mcnc.FindChi(context.Background(), g, []core.Strategy{fast}, *timeout, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !chi.Proved {
+			fmt.Fprintf(os.Stderr, "  %s: width search stopped at chi<=%d after %d probes (per-probe timeout %v)\n",
+				in.Name, chi.Chi, chi.Probes, *timeout)
 		}
 
-		stFastU, dFastU := solveGraph(fast, g, chi-1, *timeout)
-		stSlowU, dSlowU := solveGraph(slow, g, chi-1, *timeout)
-		stFastS, dFastS := solveGraph(fast, g, chi, *timeout)
+		stFastU, dFastU, err := solveGraph(fast, g, chi.Chi-1, *timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stSlowU, dSlowU, err := solveGraph(slow, g, chi.Chi-1, *timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stFastS, dFastS, err := solveGraph(fast, g, chi.Chi, *timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-10s %6d %7d %4d %4d %4d | %10.2fs%c %10.2fs%c %10.2fs%c\n",
-			in.Name, g.N(), g.M(), clique, ub, chi,
+			in.Name, g.N(), g.M(), chi.LowerBound, chi.UpperBound, chi.Chi,
 			dFastU.Seconds(), mark(stFastU, sat.Unsat),
 			dSlowU.Seconds(), mark(stSlowU, sat.Unsat),
 			dFastS.Seconds(), mark(stFastS, sat.Sat))
-		if chi != in.RoutableW {
-			fmt.Printf("  !! registry says RoutableW=%d but measured chi=%d\n", in.RoutableW, chi)
+		if chi.Chi != in.RoutableW {
+			fmt.Printf("  !! registry says RoutableW=%d but measured chi=%d\n", in.RoutableW, chi.Chi)
 			exit = 1
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.Snapshot().WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
 		}
 	}
 	os.Exit(exit)
 }
 
 // solveGraph encodes and solves one (strategy, graph, k) configuration
-// with a wall-clock timeout.
-func solveGraph(s core.Strategy, g *graph.Graph, k int, timeout time.Duration) (sat.Status, time.Duration) {
+// from scratch with a wall-clock timeout — the single-shot baseline the
+// indicative timing columns report.
+func solveGraph(s core.Strategy, g *graph.Graph, k int, timeout time.Duration) (sat.Status, time.Duration, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	start := time.Now()
 	enc := s.EncodeGraph(g, k)
-	stop := make(chan struct{})
-	timer := time.AfterFunc(timeout, func() { close(stop) })
-	defer timer.Stop()
-	st, _, err := enc.Solve(sat.Options{}, stop)
+	st, _, err := enc.SolveContext(ctx, sat.Options{})
 	if err != nil {
-		log.Fatalf("%s k=%d: %v", s.Name(), k, err)
+		return st, time.Since(start), fmt.Errorf("%s k=%d: %w", s.Name(), k, err)
 	}
-	return st, time.Since(start)
+	return st, time.Since(start), nil
 }
 
 func mark(got, want sat.Status) byte {

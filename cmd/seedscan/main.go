@@ -6,10 +6,11 @@
 // reproduces that selection.
 //
 // For every size class and seed it regenerates the instance, finds the
-// conflict graph's chromatic number with a fast strategy, then times
-// the baseline on the unroutable width. Selection uses only the
-// baseline time (the paper's notion of "challenging"), never the times
-// of the new encodings.
+// conflict graph's chromatic number with the shared incremental width
+// search (mcnc.FindChi, racing two fast strategies), then times the
+// baseline on the unroutable width. Selection uses only the baseline
+// time (the paper's notion of "challenging"), never the times of the
+// new encodings.
 //
 // Usage:
 //
@@ -17,12 +18,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"fpgasat/internal/coloring"
 	"fpgasat/internal/core"
 	"fpgasat/internal/fpga"
 	"fpgasat/internal/graph"
@@ -39,8 +40,10 @@ func main() {
 	capT := flag.Duration("cap", 30*time.Second, "per-solve cap")
 	flag.Parse()
 
-	fast1 := mustStrategy("ITE-log/s1")
-	fast2 := mustStrategy("ITE-linear-2+muldirect/s1")
+	fastPair := []core.Strategy{
+		mustStrategy("ITE-log/s1"),
+		mustStrategy("ITE-linear-2+muldirect/s1"),
+	}
 	slow := mustStrategy("muldirect")
 
 	for _, in := range mcnc.Instances() {
@@ -64,23 +67,34 @@ func main() {
 				log.Fatal(err)
 			}
 			g := gr.ConflictGraph()
-			chi, ok := findChi(g, fast1, fast2, *capT)
-			if !ok {
+			chi, err := mcnc.FindChi(context.Background(), g, fastPair, *capT, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !chi.Proved {
 				fmt.Printf("  seed %-6d V=%-4d E=%-5d chi=? (timeout)\n", gen.Seed, g.N(), g.M())
 				continue
 			}
-			clq := len(coloring.GreedyClique(g))
-			tSlow, stSlow := timeSolve(slow, g, chi-1, *capT)
+			tSlow, stSlow, err := timeSolve(slow, g, chi.Chi-1, *capT)
+			if err != nil {
+				log.Fatal(err)
+			}
 			mark := " "
 			if stSlow == sat.Unknown || tSlow >= *minHard {
 				mark = "*"
 			}
-			tF1, _ := timeSolve(fast1, g, chi-1, *capT)
-			tF2, _ := timeSolve(fast2, g, chi-1, *capT)
+			tF1, _, err := timeSolve(fastPair[0], g, chi.Chi-1, *capT)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tF2, _, err := timeSolve(fastPair[1], g, chi.Chi-1, *capT)
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("  seed %-6d V=%-4d E=%-5d clq=%d chi=%d | muldirect/-: %8.2fs%s %s  [%s: %.2fs, %s: %.2fs]\n",
-				gen.Seed, g.N(), g.M(), clq, chi,
+				gen.Seed, g.N(), g.M(), chi.LowerBound, chi.Chi,
 				tSlow.Seconds(), timeoutSuffix(stSlow), mark,
-				fast1.Name(), tF1.Seconds(), fast2.Name(), tF2.Seconds())
+				fastPair[0].Name(), tF1.Seconds(), fastPair[1].Name(), tF2.Seconds())
 		}
 	}
 }
@@ -93,51 +107,18 @@ func mustStrategy(s string) core.Strategy {
 	return st
 }
 
-// findChi locates the chromatic number by descending from the DSATUR
-// bound, racing two fast strategies at each width.
-func findChi(g *graph.Graph, a, b core.Strategy, cap time.Duration) (int, bool) {
-	_, ub := coloring.DSATUR(g)
-	chi := ub
-	for k := ub - 1; k >= 1; k-- {
-		st := race(g, k, cap, a, b)
-		if st == sat.Unknown {
-			return 0, false
-		}
-		if st == sat.Unsat {
-			return chi, true
-		}
-		chi = k
-	}
-	return chi, true
-}
-
-// race solves (g,k) with the given strategies sequentially until one
-// answers within the cap.
-func race(g *graph.Graph, k int, cap time.Duration, strategies ...core.Strategy) sat.Status {
-	for _, s := range strategies {
-		if _, st := timeSolveInv(s, g, k, cap); st != sat.Unknown {
-			return st
-		}
-	}
-	return sat.Unknown
-}
-
-func timeSolve(s core.Strategy, g *graph.Graph, k int, cap time.Duration) (time.Duration, sat.Status) {
-	d, st := timeSolveInv(s, g, k, cap)
-	return d, st
-}
-
-func timeSolveInv(s core.Strategy, g *graph.Graph, k int, cap time.Duration) (time.Duration, sat.Status) {
+// timeSolve runs one fresh single-shot solve under a wall-clock cap —
+// the baseline measurement the seed selection is based on.
+func timeSolve(s core.Strategy, g *graph.Graph, k int, cap time.Duration) (time.Duration, sat.Status, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), cap)
+	defer cancel()
 	start := time.Now()
 	enc := s.EncodeGraph(g, k)
-	stop := make(chan struct{})
-	timer := time.AfterFunc(cap, func() { close(stop) })
-	defer timer.Stop()
-	st, _, err := enc.Solve(sat.Options{}, stop)
+	st, _, err := enc.SolveContext(ctx, sat.Options{})
 	if err != nil {
-		log.Fatalf("%s k=%d: %v", s.Name(), k, err)
+		return time.Since(start), st, fmt.Errorf("%s k=%d: %w", s.Name(), k, err)
 	}
-	return time.Since(start), st
+	return time.Since(start), st, nil
 }
 
 func timeoutSuffix(st sat.Status) string {

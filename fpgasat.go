@@ -20,6 +20,7 @@ import (
 	"fpgasat/internal/obs"
 	"fpgasat/internal/portfolio"
 	"fpgasat/internal/sat"
+	"fpgasat/internal/search"
 	"fpgasat/internal/symmetry"
 )
 
@@ -95,6 +96,34 @@ type (
 	Instance = mcnc.Instance
 	// PortfolioResult is one strategy's outcome within a portfolio run.
 	PortfolioResult = portfolio.Result
+
+	// Solver is the incremental CDCL solver: load or stream clauses,
+	// then Solve / SolveAssuming / SolveAssumingContext repeatedly;
+	// learnt clauses, activity and phases carry over between calls.
+	Solver = sat.Solver
+	// Lit is a solver literal; convert with LitFromDimacs.
+	Lit = sat.Lit
+	// ClauseSink consumes streamed DIMACS clauses: *CNF buffers them,
+	// SolverClauseSink feeds them straight into a Solver.
+	ClauseSink = core.ClauseSink
+	// StreamedEncoding is the decode bookkeeping of one EncodeCSPInto
+	// run (cubes, variable count, clause census).
+	StreamedEncoding = core.Streamed
+	// IncrementalEncoding is one encode at width K that serves every
+	// width in [Lo, K] through selector assumptions.
+	IncrementalEncoding = core.Incremental
+	// SearchOptions configure the incremental minimum-width search.
+	SearchOptions = search.Options
+	// SearchResult is the outcome of a minimum-width search.
+	SearchResult = search.Result
+	// WidthProbe records one width probe within a SearchResult.
+	WidthProbe = search.Probe
+	// WidthResult is one strategy's outcome within a minimum-width
+	// portfolio run.
+	WidthResult = portfolio.WidthResult
+	// ChiResult is the outcome of FindChi: measured chromatic number
+	// plus the heuristic bounds that framed the search.
+	ChiResult = mcnc.ChiResult
 )
 
 // Solver statuses.
@@ -156,6 +185,53 @@ func NewCSP(g *Graph, k int) *CSP { return core.NewCSP(g, k) }
 
 // EncodeCSP translates a CSP to CNF under an encoding.
 func EncodeCSP(csp *CSP, enc Encoding) *Encoded { return core.Encode(csp, enc) }
+
+// EncodeCSPInto streams the CSP's clauses under an encoding into a
+// ClauseSink — with SolverClauseSink the hot path skips the
+// intermediate CNF copy entirely.
+func EncodeCSPInto(csp *CSP, enc Encoding, sink ClauseSink) *StreamedEncoding {
+	return core.EncodeInto(csp, enc, sink)
+}
+
+// EncodeIncrementalCSP encodes the CSP once at its full width with
+// selector-guarded color bounds, so one solver serves every width in
+// [lo, csp.K] via IncrementalEncoding.Assumptions.
+func EncodeIncrementalCSP(csp *CSP, enc Encoding, lo int, sink ClauseSink) *IncrementalEncoding {
+	return core.EncodeIncremental(csp, enc, lo, sink)
+}
+
+// NewSolver returns an empty incremental CDCL solver.
+func NewSolver(opts SolverOptions) *Solver { return sat.New(opts) }
+
+// SolverClauseSink adapts a Solver to the ClauseSink streaming
+// interface.
+func SolverClauseSink(s *Solver) ClauseSink { return sat.SolverSink{S: s} }
+
+// LitFromDimacs converts a DIMACS literal (±variable index) to a
+// solver literal, e.g. for SolveAssuming.
+func LitFromDimacs(d int) Lit { return sat.LitFromDimacs(d) }
+
+// MinWidth runs the incremental minimum-channel-width search on g: one
+// encode at opts.Hi, one assumption probe per width on a single solver
+// (see SearchOptions).
+func MinWidth(ctx context.Context, g *Graph, opts SearchOptions) (*SearchResult, error) {
+	return search.MinWidth(ctx, g, opts)
+}
+
+// RunMinWidthPortfolio races the incremental width search across
+// strategies; the first member to complete (prove its minimum width
+// optimal) wins and cancels the rest. Telemetry goes to m (may be nil).
+func RunMinWidthPortfolio(ctx context.Context, g *Graph, opts SearchOptions, strategies []Strategy, m *Metrics) (WidthResult, []WidthResult, error) {
+	return portfolio.RunMinWidth(ctx, g, opts, strategies, m)
+}
+
+// FindChi measures the chromatic number (exact minimum channel width)
+// of a conflict graph with the incremental width search framed by the
+// greedy-clique and DSATUR bounds, racing the strategies if more than
+// one is given.
+func FindChi(ctx context.Context, g *Graph, strategies []Strategy, probeTimeout time.Duration, m *Metrics) (ChiResult, error) {
+	return mcnc.FindChi(ctx, g, strategies, probeTimeout, m)
+}
 
 // Generate builds a deterministic random placed netlist.
 func Generate(name string, p GenParams) (*Netlist, error) { return fpga.Generate(name, p) }

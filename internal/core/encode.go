@@ -7,45 +7,55 @@ import (
 	"fpgasat/internal/sat"
 )
 
-// Encoded is the SAT translation of a coloring CSP under a particular
-// encoding: the CNF formula plus enough bookkeeping to decode a model
-// back into a CSP solution.
-type Encoded struct {
-	CNF      *sat.CNF
+// Streamed is the sink-independent record of one encoding run: the
+// bookkeeping needed to decode a model back into a CSP solution, plus
+// the clause census. It is produced by EncodeInto, which streams the
+// clauses themselves into a ClauseSink — a *sat.CNF buffer (Encode) or
+// an incremental solver (sat.SolverSink) — without materializing an
+// intermediate clause list.
+type Streamed struct {
 	Encoding Encoding
 	CSP      *CSP
 	// Cubes[v][c] is the indexing Boolean pattern selecting color c for
 	// vertex v, for c < CSP.Domain[v].
 	Cubes [][]Cube
+	// NumVars is the number of DIMACS variables the encoding allocated.
+	NumVars int
 
 	// Clause census, for the size ablation experiment.
 	StructuralClauses int
 	ConflictClauses   int
 }
 
-// Encode translates the CSP to CNF under the given encoding:
-// per-variable structural clauses first, then one conflict clause per
-// edge per common domain value (the negated pair of indexing
-// patterns).
-func Encode(csp *CSP, enc Encoding) *Encoded {
+// Encoded is the SAT translation of a coloring CSP under a particular
+// encoding, buffered as a CNF formula for DIMACS export and single-shot
+// solving. It is Streamed plus the materialized clause list.
+type Encoded struct {
+	*Streamed
+	CNF *sat.CNF
+}
+
+// EncodeInto translates the CSP to CNF under the given encoding,
+// streaming every clause into sink: per-variable structural clauses
+// first, then one conflict clause per edge per common domain value (the
+// negated pair of indexing patterns). Every clause is a fresh slice the
+// sink may retain. This is the hot path of the pipeline — with a
+// sat.SolverSink the clauses go straight into the solver's watch lists
+// with no intermediate copy.
+func EncodeInto(csp *CSP, enc Encoding, sink ClauseSink) *Streamed {
 	a := newAlloc()
-	cnf := &sat.CNF{}
+	cs := &countingSink{sink: sink}
 	cubes := make([][]Cube, csp.G.N())
-	structural := 0
 	for v := 0; v < csp.G.N(); v++ {
 		d := csp.Domain[v]
-		vc, clauses := enc.encodeVar(d, a)
+		vc := enc.emitVar(d, a, cs)
 		if len(vc) != d {
 			panic(fmt.Sprintf("core: encoding %s produced %d cubes for domain %d",
 				enc.Name(), len(vc), d))
 		}
 		cubes[v] = vc
-		for _, cl := range clauses {
-			cnf.AddClause(cl...)
-		}
-		structural += len(clauses)
 	}
-	conflicts := 0
+	structural := cs.n
 	for _, e := range csp.G.Edges() {
 		u, v := e[0], e[1]
 		common := csp.Domain[u]
@@ -54,25 +64,32 @@ func Encode(csp *CSP, enc Encoding) *Encoded {
 		}
 		for c := 0; c < common; c++ {
 			cl := append(cubes[u][c].Negate(), cubes[v][c].Negate()...)
-			cnf.AddClause(cl...)
-			conflicts++
+			cs.AddClause(cl...)
 		}
 	}
-	if cnf.NumVars < a.count() {
-		cnf.NumVars = a.count()
+	return &Streamed{
+		Encoding:          enc,
+		CSP:               csp,
+		Cubes:             cubes,
+		NumVars:           a.count(),
+		StructuralClauses: structural,
+		ConflictClauses:   cs.n - structural,
+	}
+}
+
+// Encode translates the CSP to CNF under the given encoding into a
+// buffered formula (EncodeInto with a *sat.CNF sink).
+func Encode(csp *CSP, enc Encoding) *Encoded {
+	cnf := &sat.CNF{}
+	st := EncodeInto(csp, enc, cnf)
+	if cnf.NumVars < st.NumVars {
+		cnf.NumVars = st.NumVars
 	}
 	cnf.Comments = append(cnf.Comments,
 		fmt.Sprintf("encoding: %s", enc.Name()),
 		fmt.Sprintf("graph: %d vertices, %d edges, %d colors", csp.G.N(), csp.G.M(), csp.K),
 	)
-	return &Encoded{
-		CNF:               cnf,
-		Encoding:          enc,
-		CSP:               csp,
-		Cubes:             cubes,
-		StructuralClauses: structural,
-		ConflictClauses:   conflicts,
-	}
+	return &Encoded{Streamed: st, CNF: cnf}
 }
 
 // DescribeVariable returns the indexing Boolean patterns an encoding
@@ -84,14 +101,14 @@ func DescribeVariable(enc Encoding, d int) ([]Cube, int, error) {
 		return nil, 0, fmt.Errorf("core: domain size %d", d)
 	}
 	a := newAlloc()
-	cubes, _ := enc.encodeVar(d, a)
+	cubes := enc.emitVar(d, a, discardSink{})
 	return cubes, a.count(), nil
 }
 
 // Decode maps a satisfying assignment back to a CSP solution. For
 // multivalued encodings several values may be selected; the smallest
 // is taken, which the conflict clauses guarantee is safe.
-func (e *Encoded) Decode(model []bool) ([]int, error) {
+func (e *Streamed) Decode(model []bool) ([]int, error) {
 	colors := make([]int, e.CSP.G.N())
 	for v := range colors {
 		colors[v] = -1
@@ -112,7 +129,7 @@ func (e *Encoded) Decode(model []bool) ([]int, error) {
 // DecodeVerify decodes a satisfying assignment and verifies that the
 // result is a proper coloring within every domain — the flow's
 // end-to-end correctness guarantee.
-func (e *Encoded) DecodeVerify(model []bool) ([]int, error) {
+func (e *Streamed) DecodeVerify(model []bool) ([]int, error) {
 	colors, err := e.Decode(model)
 	if err != nil {
 		return nil, err

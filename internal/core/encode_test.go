@@ -234,7 +234,7 @@ func TestVarCountsPerEncoding(t *testing.T) {
 			t.Fatal(err)
 		}
 		a := newAlloc()
-		enc.encodeVar(13, a)
+		encodeVar(enc, 13, a)
 		if a.count() != wantVars {
 			t.Errorf("%s: %d vars for domain 13, want %d", name, a.count(), wantVars)
 		}

@@ -15,10 +15,10 @@ type Encoding interface {
 	// Name returns the paper's name for the encoding (e.g.
 	// "ITE-linear-2+muldirect").
 	Name() string
-	// encodeVar allocates Boolean variables for one CSP variable with
-	// domain {0..d-1} and returns the per-value cubes plus the
-	// encoding's structural clauses.
-	encodeVar(d int, a *alloc) ([]Cube, [][]int)
+	// emitVar allocates Boolean variables for one CSP variable with
+	// domain {0..d-1}, emits the encoding's structural clauses into
+	// sink, and returns the per-value cubes.
+	emitVar(d int, a *alloc, sink ClauseSink) []Cube
 	// Multivalued reports whether a satisfying assignment may select
 	// more than one domain value (no 1-to-1 SAT/CSP correspondence);
 	// decoding then takes any selected value.
@@ -35,9 +35,10 @@ func (e simpleEncoding) Name() string { return e.kind.String() }
 
 func (e simpleEncoding) Multivalued() bool { return e.kind == KindMuldirect }
 
-func (e simpleEncoding) encodeVar(d int, a *alloc) ([]Cube, [][]int) {
+func (e simpleEncoding) emitVar(d int, a *alloc, sink ClauseSink) []Cube {
 	vars := a.block(numVarsFor(e.kind, d))
-	return cubesFor(e.kind, d, vars), structuralFor(e.kind, d, vars)
+	emitStructural(e.kind, d, vars, sink)
+	return cubesFor(e.kind, d, vars)
 }
 
 // Level is one partition level of a hierarchical encoding: Kind
@@ -110,17 +111,18 @@ func (e hierEncoding) Multivalued() bool {
 // subEncoding is the shared-variable encoding of one hierarchy suffix.
 // cubes(d) re-derives the value cubes for any domain size d <= maxSize
 // over the same variables, so that subdomains of different sizes at the
-// same level reuse one variable block.
+// same level reuse one variable block. Structural and exclusion clauses
+// are emitted into the sink passed to buildSub as the suffix is built.
 type subEncoding struct {
 	maxSize int
 	pureITE bool
 	cubes   func(d int) []Cube
-	clauses [][]int
 }
 
 // buildSub constructs the shared sub-encoding for the hierarchy suffix
-// (levels, leaf) over domains of size up to maxSize.
-func buildSub(levels []Level, leaf Kind, maxSize int, a *alloc) subEncoding {
+// (levels, leaf) over domains of size up to maxSize, emitting its
+// structural and exclusion clauses into sink.
+func buildSub(levels []Level, leaf Kind, maxSize int, a *alloc, sink ClauseSink) subEncoding {
 	if maxSize == 1 {
 		return subEncoding{
 			maxSize: 1,
@@ -130,21 +132,20 @@ func buildSub(levels []Level, leaf Kind, maxSize int, a *alloc) subEncoding {
 	}
 	if len(levels) == 0 {
 		vars := a.block(numVarsFor(leaf, maxSize))
+		emitStructural(leaf, maxSize, vars, sink)
 		return subEncoding{
 			maxSize: maxSize,
 			pureITE: leaf.isITE(),
 			cubes:   func(d int) []Cube { return cubesFor(leaf, d, vars) },
-			clauses: structuralFor(leaf, maxSize, vars),
 		}
 	}
 	level := levels[0]
 	gMax := groupCount(level, maxSize)
 	topVars := a.block(numVarsFor(level.Kind, gMax))
+	emitStructural(level.Kind, gMax, topVars, sink)
 	sizesMax := balancedSizes(maxSize, gMax)
-	sub := buildSub(levels[1:], leaf, sizesMax[0], a)
+	sub := buildSub(levels[1:], leaf, sizesMax[0], a, sink)
 
-	clauses := structuralFor(level.Kind, gMax, topVars)
-	clauses = append(clauses, sub.clauses...)
 	// Exclusion constraints: when the sub-encoding is not a pure ITE
 	// tree, forbid (group j selected AND non-existent index selected).
 	if !sub.pureITE {
@@ -153,7 +154,7 @@ func buildSub(levels []Level, leaf Kind, maxSize int, a *alloc) subEncoding {
 		for j, sz := range sizesMax {
 			for t := sz; t < sub.maxSize; t++ {
 				cl := append(topCubes[j].Negate(), subCubes[t].Negate()...)
-				clauses = append(clauses, cl)
+				sink.AddClause(cl...)
 			}
 		}
 	}
@@ -192,13 +193,12 @@ func buildSub(levels []Level, leaf Kind, maxSize int, a *alloc) subEncoding {
 		maxSize: maxSize,
 		pureITE: pure,
 		cubes:   cubes,
-		clauses: clauses,
 	}
 }
 
-func (e hierEncoding) encodeVar(d int, a *alloc) ([]Cube, [][]int) {
-	sub := buildSub(e.levels, e.leaf, d, a)
-	return sub.cubes(d), sub.clauses
+func (e hierEncoding) emitVar(d int, a *alloc, sink ClauseSink) []Cube {
+	sub := buildSub(e.levels, e.leaf, d, a, sink)
+	return sub.cubes(d)
 }
 
 // groupCount returns the number of subdomains a level splits a domain

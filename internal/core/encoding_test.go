@@ -108,7 +108,7 @@ func TestITELogGroupCubesMatchPaperExample(t *testing.T) {
 	// v6 ← ¬i2∧¬i3.
 	enc := MustHierarchical([]Level{{KindITELog, 2}}, KindITELinear)
 	a := newAlloc()
-	cubes, clauses := enc.encodeVar(13, a)
+	cubes, clauses := encodeVar(enc, 13, a)
 	if len(clauses) != 0 {
 		t.Fatalf("pure ITE encoding emitted %d structural clauses", len(clauses))
 	}
@@ -260,7 +260,7 @@ func TestITEEncodingsSelectExactlyOneValue(t *testing.T) {
 	for _, enc := range encs {
 		for d := 1; d <= 13; d++ {
 			a := newAlloc()
-			cubes, clauses := enc.encodeVar(d, a)
+			cubes, clauses := encodeVar(enc, d, a)
 			if len(clauses) != 0 {
 				t.Errorf("%s d=%d: %d structural clauses, want 0", enc.Name(), d, len(clauses))
 			}
@@ -275,7 +275,7 @@ func TestITEEncodingsSelectExactlyOneValue(t *testing.T) {
 func TestLogEncodingSelectsAtMostOne(t *testing.T) {
 	for d := 2; d <= 9; d++ {
 		a := newAlloc()
-		cubes, _ := NewSimple(KindLog).encodeVar(d, a)
+		cubes, _ := encodeVar(NewSimple(KindLog), d, a)
 		_, max := selectionCounts(t, cubes, a.count())
 		if max != 1 {
 			t.Errorf("log d=%d: max selection %d, want 1", d, max)
@@ -302,8 +302,8 @@ func TestTreeShapeHelpers(t *testing.T) {
 func TestLinearTreeMatchesITELinear(t *testing.T) {
 	for d := 2; d <= 10; d++ {
 		a1, a2 := newAlloc(), newAlloc()
-		c1, _ := NewSimple(KindITELinear).encodeVar(d, a1)
-		c2, _ := NewITETree("lin", LinearShape).encodeVar(d, a2)
+		c1, _ := encodeVar(NewSimple(KindITELinear), d, a1)
+		c2, _ := encodeVar(NewITETree("lin", LinearShape), d, a2)
 		for i := range c1 {
 			if !cubeEq(c1[i], c2[i]) {
 				t.Fatalf("d=%d value %d: %v vs %v", d, i, c1[i], c2[i])
@@ -363,7 +363,7 @@ func TestDeepHierarchyNameRoundtrip(t *testing.T) {
 		}
 		// Deep hierarchies must still encode sanely.
 		a := newAlloc()
-		cubes, _ := enc.encodeVar(9, a)
+		cubes, _ := encodeVar(enc, 9, a)
 		if len(cubes) != 9 {
 			t.Errorf("%s: %d cubes for domain 9", name, len(cubes))
 		}

@@ -56,25 +56,24 @@ func (e mixedEncoding) Multivalued() bool {
 	return false
 }
 
-func (e mixedEncoding) encodeVar(d int, a *alloc) ([]Cube, [][]int) {
+func (e mixedEncoding) emitVar(d int, a *alloc, sink ClauseSink) []Cube {
 	if d == 1 {
-		return []Cube{nil}, nil
+		return []Cube{nil}
 	}
 	g := groupCount(e.top, d)
 	topVars := a.block(numVarsFor(e.top.Kind, g))
 	topCubes := cubesFor(e.top.Kind, g, topVars)
-	clauses := structuralFor(e.top.Kind, g, topVars)
+	emitStructural(e.top.Kind, g, topVars, sink)
 
 	sizes := balancedSizes(d, g)
 	cubes := make([]Cube, 0, d)
 	for j, sz := range sizes {
 		sub := e.subs[j%len(e.subs)]
-		subCubes, subClauses := sub.encodeVar(sz, a)
-		clauses = append(clauses, subClauses...)
+		subCubes := sub.emitVar(sz, a, sink)
 		for t := 0; t < sz; t++ {
 			cube := append(append(Cube(nil), topCubes[j]...), subCubes[t]...)
 			cubes = append(cubes, cube)
 		}
 	}
-	return cubes, clauses
+	return cubes
 }

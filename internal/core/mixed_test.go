@@ -59,7 +59,7 @@ func TestMixedSemantics(t *testing.T) {
 	for _, enc := range mixedTestEncodings() {
 		for d := 1; d <= 9; d++ {
 			a := newAlloc()
-			cubes, clauses := enc.encodeVar(d, a)
+			cubes, clauses := encodeVar(enc, d, a)
 			n := a.count()
 			if n > 15 {
 				continue

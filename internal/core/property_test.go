@@ -76,7 +76,7 @@ func TestEncodingExistenceAndSoundness(t *testing.T) {
 	for _, enc := range encs {
 		for d := 1; d <= 9; d++ {
 			a := newAlloc()
-			cubes, clauses := enc.encodeVar(d, a)
+			cubes, clauses := encodeVar(enc, d, a)
 			n := a.count()
 			if n > 14 {
 				continue // keep enumeration tractable
@@ -121,7 +121,7 @@ func TestSingleValuedEncodingsNeverSelectTwo(t *testing.T) {
 		}
 		for d := 1; d <= 9; d++ {
 			a := newAlloc()
-			cubes, clauses := enc.encodeVar(d, a)
+			cubes, clauses := encodeVar(enc, d, a)
 			n := a.count()
 			if n > 14 {
 				continue
@@ -152,7 +152,7 @@ func TestDistinctCubesPerValue(t *testing.T) {
 	for _, enc := range encs {
 		for d := 2; d <= 13; d++ {
 			a := newAlloc()
-			cubes, _ := enc.encodeVar(d, a)
+			cubes, _ := encodeVar(enc, d, a)
 			seen := map[string]int{}
 			for c, cube := range cubes {
 				key := ""
@@ -175,9 +175,9 @@ func TestDistinctCubesPerValue(t *testing.T) {
 func TestHierarchicalVariableSharing(t *testing.T) {
 	enc := MustHierarchical([]Level{{KindITELog, 2}}, KindITELinear)
 	a := newAlloc()
-	cubes1, _ := enc.encodeVar(13, a)
+	cubes1, _ := encodeVar(enc, 13, a)
 	first := a.count()
-	cubes2, _ := enc.encodeVar(13, a)
+	cubes2, _ := encodeVar(enc, 13, a)
 	if a.count() != 2*first {
 		t.Fatalf("second variable allocated %d vars, first %d", a.count()-first, first)
 	}

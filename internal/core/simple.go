@@ -172,16 +172,16 @@ func cubesFor(k Kind, d int, vars []int) []Cube {
 	return cubes
 }
 
-// structuralFor returns kind's structural clauses for a domain of size
-// d over the variable block: at-least-one (direct, muldirect),
-// at-most-one (direct), excluded-illegal-values (log). ITE-tree
-// encodings have none — the tree structure guarantees exactly one leaf
-// is selected by every assignment.
-func structuralFor(k Kind, d int, vars []int) [][]int {
+// emitStructural emits kind's structural clauses for a domain of size
+// d over the variable block into sink: at-least-one (direct,
+// muldirect), at-most-one (direct), excluded-illegal-values (log).
+// ITE-tree encodings have none — the tree structure guarantees exactly
+// one leaf is selected by every assignment. Every emitted clause is a
+// fresh slice the sink may retain.
+func emitStructural(k Kind, d int, vars []int, sink ClauseSink) {
 	if d == 1 {
-		return nil
+		return
 	}
-	var out [][]int
 	switch k {
 	case KindLog:
 		m := numVarsFor(k, d)
@@ -194,23 +194,30 @@ func structuralFor(k Kind, d int, vars []int) [][]int {
 					cl[j] = vars[j]
 				}
 			}
-			out = append(out, cl)
+			sink.AddClause(cl...)
 		}
 	case KindDirect:
 		alo := make([]int, d)
 		copy(alo, vars[:d])
-		out = append(out, alo)
+		sink.AddClause(alo...)
 		for i := 0; i < d; i++ {
 			for j := i + 1; j < d; j++ {
-				out = append(out, []int{-vars[i], -vars[j]})
+				sink.AddClause(-vars[i], -vars[j])
 			}
 		}
 	case KindMuldirect:
 		alo := make([]int, d)
 		copy(alo, vars[:d])
-		out = append(out, alo)
+		sink.AddClause(alo...)
 	case KindITELinear, KindITELog:
 		// none
 	}
-	return out
+}
+
+// structuralFor materializes emitStructural's clause stream; kept for
+// tests and size introspection.
+func structuralFor(k Kind, d int, vars []int) [][]int {
+	var c clauseCollector
+	emitStructural(k, d, vars, &c)
+	return c.clauses
 }

@@ -1,0 +1,55 @@
+package core
+
+// ClauseSink consumes CNF clauses in DIMACS convention (positive int =
+// variable true, negative = false, no zero terminator). It is the
+// streaming side of the encoding pipeline: encodings emit structural,
+// conflict and guard clauses into a sink instead of materializing an
+// intermediate clause list.
+//
+// Contract: every AddClause call passes a slice the sink may retain —
+// emitters never reuse or mutate a clause after handing it over. Sinks
+// must accept clauses over variables they have not seen before (DIMACS
+// indices are allocated densely from 1 by the encoder). The two
+// production sinks are *sat.CNF (buffering; preserves DIMACS export and
+// every existing entry point) and sat.SolverSink (streams straight into
+// an incremental solver with no intermediate copy).
+type ClauseSink interface {
+	AddClause(lits ...int)
+}
+
+// clauseCollector is a ClauseSink that materializes the emitted clauses,
+// used by the materializing compatibility wrappers and by tests that
+// inspect an encoding's structural clauses directly.
+type clauseCollector struct{ clauses [][]int }
+
+func (c *clauseCollector) AddClause(lits ...int) {
+	c.clauses = append(c.clauses, lits)
+}
+
+// countingSink forwards clauses to an underlying sink while counting
+// them — the clause census of the size ablation without a second pass.
+type countingSink struct {
+	sink ClauseSink
+	n    int
+}
+
+func (c *countingSink) AddClause(lits ...int) {
+	c.n++
+	c.sink.AddClause(lits...)
+}
+
+// discardSink drops every clause; used when only the cubes and the
+// variable count of an encoding are of interest (DescribeVariable).
+type discardSink struct{}
+
+func (discardSink) AddClause(lits ...int) {}
+
+// encodeVar materializes one CSP variable's encoding: the per-value
+// cubes plus the structural clauses collected from the sink stream.
+// It is the materializing counterpart of Encoding.emitVar, kept for
+// tests and introspection.
+func encodeVar(e Encoding, d int, a *alloc) ([]Cube, [][]int) {
+	var c clauseCollector
+	cubes := e.emitVar(d, a, &c)
+	return cubes, c.clauses
+}

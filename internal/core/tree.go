@@ -119,9 +119,9 @@ func NewITETree(name string, shape TreeShape) Encoding {
 func (e treeEncoding) Name() string      { return e.name }
 func (e treeEncoding) Multivalued() bool { return false }
 
-func (e treeEncoding) encodeVar(d int, a *alloc) ([]Cube, [][]int) {
+func (e treeEncoding) emitVar(d int, a *alloc, sink ClauseSink) []Cube {
 	if d == 1 {
-		return []Cube{nil}, nil
+		return []Cube{nil}
 	}
 	t := e.shape(d)
 	if err := t.validate(); err != nil {
@@ -143,5 +143,5 @@ func (e treeEncoding) encodeVar(d int, a *alloc) ([]Cube, [][]int) {
 		walk(n.Right, append(prefix[:len(prefix):len(prefix)], -v))
 	}
 	walk(t, nil)
-	return cubes, nil
+	return cubes
 }

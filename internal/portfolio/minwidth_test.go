@@ -1,0 +1,60 @@
+package portfolio
+
+import (
+	"context"
+	"testing"
+
+	"fpgasat/internal/graph"
+	"fpgasat/internal/obs"
+	"fpgasat/internal/search"
+)
+
+func TestRunMinWidthBasic(t *testing.T) {
+	g := graph.Complete(4) // chromatic number 4
+	reg := obs.NewRegistry()
+	win, all, err := RunMinWidth(context.Background(), g, search.Options{
+		Lo: 1,
+		Hi: 6,
+	}, PaperPortfolio2(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win.Winner || win.Search == nil {
+		t.Fatalf("winner not flagged: %+v", win)
+	}
+	if win.Search.MinWidth != 4 || !win.Search.ProvedOptimal {
+		t.Fatalf("winner MinWidth=%d ProvedOptimal=%v, want 4/true",
+			win.Search.MinWidth, win.Search.ProvedOptimal)
+	}
+	if len(all) != 2 {
+		t.Fatalf("expected 2 member results, got %d", len(all))
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[MetricMinWidthWins+"."+win.Strategy.Name()] != 1 {
+		t.Fatalf("winner %s has no win counter in %v", win.Strategy.Name(), snap.Counters)
+	}
+	// Each member records its search telemetry under its own suffix.
+	if snap.Timers[search.MetricEncode+"."+win.Strategy.Name()].Count != 1 {
+		t.Fatalf("winner %s missing encode timer", win.Strategy.Name())
+	}
+}
+
+func TestRunMinWidthNoStrategies(t *testing.T) {
+	if _, _, err := RunMinWidth(context.Background(), graph.Complete(3), search.Options{Hi: 3}, nil, nil); err == nil {
+		t.Fatal("expected an error for an empty portfolio")
+	}
+}
+
+func TestRunMinWidthCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, all, err := RunMinWidth(ctx, graph.Complete(5), search.Options{Lo: 1, Hi: 8}, PaperPortfolio2(), nil)
+	if err == nil {
+		t.Fatal("a cancelled run must not crown a winner")
+	}
+	for _, r := range all {
+		if r.Search != nil && r.Search.ProvedOptimal {
+			t.Fatalf("cancelled member claims a completed search: %+v", r)
+		}
+	}
+}

@@ -149,6 +149,16 @@ type Solver struct {
 	stopped atomic.Bool
 	proof   *proofLogger
 
+	// Incremental-solve state: the assumptions of the current solve
+	// call (one per decision level below all search decisions), the
+	// failed-assumption core of the last Unsat answer (nil when the
+	// clause database itself is unsatisfiable), and the Conflicts value
+	// at the start of the current call, so Options.ConflictBudget
+	// bounds each call rather than the solver's lifetime.
+	assumptions  []Lit
+	conflictCore []Lit
+	conflictBase int64
+
 	// Next Stats.Decisions / Stats.Propagations values at which search
 	// polls stopped and fires the Progress callback.
 	pollDecisions    int64
@@ -227,7 +237,11 @@ func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
 // AddClause adds a problem clause (literals in DIMACS-free Lit form).
 // It returns false if the formula is already known unsatisfiable.
-// Must be called before Solve and only at decision level 0.
+// It may be called before the first solve and between solve calls
+// (every solve returns with the trail unwound to decision level 0, so
+// the new clause is simplified against the level-0 trail and its watch
+// literals attach exactly as during initial construction); it must not
+// be called while a solve is running.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
@@ -659,16 +673,37 @@ func (s *Solver) search(nofConflicts int64) Status {
 			s.cancelUntil(0)
 			return Unknown
 		}
-		if s.opts.ConflictBudget > 0 && s.Stats.Conflicts >= s.opts.ConflictBudget {
+		if s.opts.ConflictBudget > 0 && s.Stats.Conflicts-s.conflictBase >= s.opts.ConflictBudget {
 			s.cancelUntil(0)
 			return Unknown
 		}
 		if float64(len(s.learnts))-float64(len(s.trail)) >= s.maxLearnts {
 			s.reduceDB()
 		}
-		next := s.pickBranchLit()
+		// Establish the assumption decision levels before any search
+		// decision: assumption i always sits at decision level i+1, so
+		// backtracking below an assumption simply re-enqueues it here.
+		next := LitUndef
+		for next == LitUndef && s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				// Already implied: open a dummy decision level so the
+				// remaining assumptions keep their positional levels.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case lFalse:
+				s.analyzeFinal(p)
+				return Unsat
+			default:
+				next = p
+				s.Stats.Decisions++
+			}
+		}
 		if next == LitUndef {
-			return Sat
+			next = s.pickBranchLit()
+			if next == LitUndef {
+				return Sat
+			}
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.uncheckedEnqueue(next, nil)
@@ -694,7 +729,21 @@ func luby(y float64, i int64) float64 {
 
 // Solve runs the solver. It returns Sat, Unsat or Unknown (budget
 // exhausted or Stop called). After Sat, Model returns the assignment.
-func (s *Solver) Solve() Status {
+// Solve is SolveAssuming with no assumptions, except that a Stop issued
+// before the call still cancels it (the documented Stop contract).
+func (s *Solver) Solve() Status { return s.solveWith(nil) }
+
+// solveWith is the restart loop shared by Solve and SolveAssuming. It
+// always returns with the trail unwound to decision level 0, so the
+// caller may add clauses and solve again.
+func (s *Solver) solveWith(assumps []Lit) Status {
+	s.model = nil
+	s.conflictCore = nil
+	s.assumptions = s.assumptions[:0]
+	for _, p := range assumps {
+		s.ensureVars(p.Var())
+		s.assumptions = append(s.assumptions, p)
+	}
 	if !s.ok {
 		if s.proof != nil {
 			s.proof.addClause(nil)
@@ -703,12 +752,14 @@ func (s *Solver) Solve() Status {
 		return Unsat
 	}
 	defer s.flushProof()
+	defer s.cancelUntil(0)
 	s.maxLearnts = math.Max(float64(len(s.clauses))*0.33, 5000)
 	if s.opts.LearntLimit > 0 {
 		s.maxLearnts = float64(s.opts.LearntLimit)
 	}
 	s.pollDecisions = s.Stats.Decisions + progressDecisionInterval
 	s.pollPropagations = s.Stats.Propagations + progressPropagationInterval
+	s.conflictBase = s.Stats.Conflicts
 	var curRestarts int64
 	for {
 		if s.stopped.Load() {
@@ -731,13 +782,17 @@ func (s *Solver) Solve() Status {
 			for v := range s.assigns {
 				s.model[v] = s.assigns[v] == lTrue
 			}
-			s.cancelUntil(0)
 			return Sat
 		case Unsat:
-			s.ok = false
+			// A nil failed-assumption core means the clause database
+			// itself is refuted; with a core, only the assumptions are
+			// to blame and the solver stays usable.
+			if s.conflictCore == nil {
+				s.ok = false
+			}
 			return Unsat
 		}
-		if s.opts.ConflictBudget > 0 && s.Stats.Conflicts >= s.opts.ConflictBudget {
+		if s.opts.ConflictBudget > 0 && s.Stats.Conflicts-s.conflictBase >= s.opts.ConflictBudget {
 			return Unknown
 		}
 		curRestarts++
