@@ -94,9 +94,10 @@ func BenchmarkTable2(b *testing.B) {
 		for _, col := range experiments.Table2Columns {
 			s := mustStrategy(b, col)
 			b.Run(fmt.Sprintf("%s/W=%d/%s", in.Name, w, col), func(b *testing.B) {
+				b.ReportAllocs()
 				var conflicts int64
 				for i := 0; i < b.N; i++ {
-					t := experiments.RunStrategy(g, w, s, 0, 0)
+					t := experiments.RunStrategy(g, w, s, 0, 0, nil)
 					if t.Status != sat.Unsat {
 						b.Fatalf("got %v, want Unsat", t.Status)
 					}
@@ -117,8 +118,9 @@ func BenchmarkRoutable(b *testing.B) {
 	for _, encName := range core.PaperEncodingNames {
 		s := mustStrategy(b, encName+"/s1")
 		b.Run(fmt.Sprintf("%s/W=%d/%s", in.Name, in.RoutableW, encName), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				t := experiments.RunStrategy(g, in.RoutableW, s, 0, 0)
+				t := experiments.RunStrategy(g, in.RoutableW, s, 0, 0, nil)
 				if t.Status != sat.Sat {
 					b.Fatalf("got %v, want Sat", t.Status)
 				}
@@ -136,7 +138,7 @@ func BenchmarkPortfolio(b *testing.B) {
 	single := mustStrategy(b, "ITE-linear-2+muldirect/s1")
 	b.Run("single/"+single.Name(), func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if t := experiments.RunStrategy(g, w, single, 0, 0); t.Status != sat.Unsat {
+			if t := experiments.RunStrategy(g, w, single, 0, 0, nil); t.Status != sat.Unsat {
 				b.Fatal(t.Status)
 			}
 		}
@@ -232,11 +234,12 @@ func BenchmarkMinWidthSingleShot(b *testing.B) {
 	g := mustGraph(b, in)
 	s := mustStrategy(b, "ITE-linear-2+muldirect/s1")
 	hi := in.RoutableW + 1
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		found := 0
 		for w := hi; w >= 1; w-- {
 			e := core.Encode(core.BuildCSP(g, w, s.Symmetry), s.Encoding)
-			res := sat.SolveCNF(e.CNF, sat.Options{}, nil)
+			res := sat.SolveCNFContext(context.Background(), e.CNF, sat.Options{})
 			if res.Status != sat.Sat {
 				break
 			}
@@ -257,6 +260,7 @@ func BenchmarkMinWidthIncremental(b *testing.B) {
 	g := mustGraph(b, in)
 	s := mustStrategy(b, "ITE-linear-2+muldirect/s1")
 	hi := in.RoutableW + 1
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := search.MinWidth(context.Background(), g, search.Options{
 			Strategy: s,
@@ -313,9 +317,10 @@ func BenchmarkSolverPigeonhole(b *testing.B) {
 					}
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if res := sat.SolveCNF(cnf, sat.Options{}, nil); res.Status != sat.Unsat {
+				if res := sat.SolveCNFContext(context.Background(), cnf, sat.Options{}); res.Status != sat.Unsat {
 					b.Fatal(res.Status)
 				}
 			}
@@ -339,9 +344,45 @@ func BenchmarkSolverRandom3SAT(b *testing.B) {
 		}
 		cnf.AddClause(cl...)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if res := sat.SolveCNF(cnf, sat.Options{}, nil); res.Status != sat.Sat {
+		if res := sat.SolveCNFContext(context.Background(), cnf, sat.Options{}); res.Status != sat.Sat {
 			b.Fatal(res.Status)
 		}
 	}
+}
+
+// BenchmarkSolverReuse contrasts a fresh solver per solve against one
+// solver Reset() between solves of the same problem — the saving the
+// session pool captures: the arena, watch lists and trail keep their
+// capacity, so a warm solve allocates almost nothing.
+func BenchmarkSolverReuse(b *testing.B) {
+	in := mustInstance(b, "9symml")
+	g := mustGraph(b, in)
+	s := mustStrategy(b, "ITE-linear-2+muldirect/s1")
+	w := in.RoutableW
+	solveOn := func(b *testing.B, solver *sat.Solver) {
+		csp := core.BuildCSP(g, w, s.Symmetry)
+		enc := core.EncodeInto(csp, s.Encoding, sat.SolverSink{S: solver})
+		if st := solver.SolveAssumingContext(context.Background()); st != sat.Sat {
+			b.Fatal(st)
+		}
+		if _, err := enc.DecodeVerify(solver.Model()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			solveOn(b, sat.New(sat.Options{}))
+		}
+	})
+	b.Run("reset", func(b *testing.B) {
+		b.ReportAllocs()
+		solver := sat.New(sat.Options{})
+		for i := 0; i < b.N; i++ {
+			solver.Reset(sat.Options{})
+			solveOn(b, solver)
+		}
+	})
 }

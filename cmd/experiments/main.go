@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"fpgasat"
 	"fpgasat/internal/experiments"
 	"fpgasat/internal/mcnc"
 	"fpgasat/internal/obs"
@@ -58,7 +59,13 @@ func main() {
 		progress = os.Stderr
 	}
 	reg := obs.NewRegistry()
+	// One session for the whole run: every timed solve draws a pooled
+	// arena-backed solver, and the sat.reset.* / sat.arena.* gauges end
+	// up in the -trace / -metrics-out dump.
+	session := fpgasat.NewSession(reg)
+	pool := session.Pool()
 	defer func() {
+		session.PoolStats()
 		if *trace {
 			fmt.Println("\n── metrics report ──")
 			if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
@@ -95,7 +102,7 @@ func main() {
 	if *table2 {
 		start := time.Now()
 		r, err := experiments.RunTable2(experiments.Table2Config{
-			Instances: insts, Timeout: *timeout, Progress: progress,
+			Instances: insts, Timeout: *timeout, Progress: progress, Pool: pool,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -106,7 +113,7 @@ func main() {
 	}
 	if *routable {
 		r, err := experiments.RunRoutable(experiments.RoutableConfig{
-			Instances: insts, Timeout: *timeout, Progress: progress,
+			Instances: insts, Timeout: *timeout, Progress: progress, Pool: pool,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -116,7 +123,7 @@ func main() {
 	}
 	if *portfolio {
 		r, err := experiments.RunPortfolio(experiments.PortfolioConfig{
-			Instances: insts, Timeout: *timeout, Progress: progress, Obs: reg,
+			Instances: insts, Timeout: *timeout, Progress: progress, Obs: reg, Pool: pool,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -136,7 +143,7 @@ func main() {
 			cfgInsts = cfgInsts[:4]
 		}
 		r, err := experiments.RunSolverCompare(experiments.SolverCompareConfig{
-			Instances: cfgInsts, Timeout: *timeout, Progress: progress,
+			Instances: cfgInsts, Timeout: *timeout, Progress: progress, Pool: pool,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -145,7 +152,7 @@ func main() {
 	}
 	if *trees {
 		r, err := experiments.RunTreeAblation(experiments.TreeAblationConfig{
-			Instance: insts[0], Symmetry: symmetry.S1, Timeout: *timeout, Progress: progress,
+			Instance: insts[0], Symmetry: symmetry.S1, Timeout: *timeout, Progress: progress, Pool: pool,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -161,7 +168,7 @@ func main() {
 	}
 	if *symAbl {
 		r, err := experiments.RunSymmetryAblation(experiments.SymmetryAblationConfig{
-			Instances: insts, Timeout: *timeout, Progress: progress,
+			Instances: insts, Timeout: *timeout, Progress: progress, Pool: pool,
 		})
 		if err != nil {
 			log.Fatal(err)

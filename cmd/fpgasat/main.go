@@ -25,13 +25,13 @@ import (
 	"os"
 	"time"
 
+	"fpgasat"
 	"fpgasat/internal/coloring"
 	"fpgasat/internal/core"
 	"fpgasat/internal/fpga"
 	"fpgasat/internal/graph"
 	"fpgasat/internal/mcnc"
 	"fpgasat/internal/obs"
-	"fpgasat/internal/portfolio"
 	"fpgasat/internal/sat"
 )
 
@@ -40,6 +40,11 @@ import (
 // per-strategy portfolio telemetry. It is dumped by -trace and
 // -metrics-out.
 var reg = obs.NewRegistry()
+
+// session owns the process-wide solver pool: plain solves, the width
+// search and portfolio lanes all draw arena-backed solvers from it,
+// and its sat.reset.* / sat.arena.* gauges land in reg.
+var session = fpgasat.NewSession(reg)
 
 func main() {
 	log.SetFlags(0)
@@ -126,44 +131,54 @@ func main() {
 		return
 	}
 
-	span = reg.StartSpan("pipeline.encode")
-	enc := s.EncodeGraph(g, *w)
-	span.End()
-	reg.Gauge("pipeline.cnf_vars").Set(int64(enc.CNF.NumVars))
-	reg.Gauge("pipeline.cnf_clauses").Set(int64(enc.CNF.NumClauses()))
-	if *cnfOut != "" {
-		if err := writeCnf(*cnfOut, enc.CNF); err != nil {
-			log.Fatal(err)
+	var st sat.Status
+	var colors []int
+	if *cnfOut == "" && *proof == "" {
+		// Hot path: stream the encoding straight into a pooled session
+		// solver — no intermediate CNF is materialized.
+		st, colors = solveStreamed(g, *w, s, *timeout)
+	} else {
+		// -cnf and -proof need the materialized formula (to write it
+		// out, and to check the DRAT certificate against it).
+		span = reg.StartSpan("pipeline.encode")
+		enc := s.EncodeGraph(g, *w)
+		span.End()
+		reg.Gauge("pipeline.cnf_vars").Set(int64(enc.CNF.NumVars))
+		reg.Gauge("pipeline.cnf_clauses").Set(int64(enc.CNF.NumClauses()))
+		if *cnfOut != "" {
+			if err := writeCnf(*cnfOut, enc.CNF); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote CNF to %s (%d vars, %d clauses)\n",
+				*cnfOut, enc.CNF.NumVars, enc.CNF.NumClauses())
 		}
-		fmt.Printf("wrote CNF to %s (%d vars, %d clauses)\n",
-			*cnfOut, enc.CNF.NumVars, enc.CNF.NumClauses())
-	}
 
-	opts := solverOptions()
-	var proofFile *os.File
-	if *proof != "" {
-		proofFile, err = os.Create(*proof)
-		if err != nil {
-			log.Fatal(err)
-		}
-		opts.ProofWriter = proofFile
-	}
-	st, colors := solveWith(enc, opts, *timeout)
-	if proofFile != nil {
-		if err := proofFile.Close(); err != nil {
-			log.Fatal(err)
-		}
-		if st == sat.Unsat {
-			pf, err := os.Open(*proof)
+		opts := solverOptions()
+		var proofFile *os.File
+		if *proof != "" {
+			proofFile, err = os.Create(*proof)
 			if err != nil {
 				log.Fatal(err)
 			}
-			err = sat.CheckDRAT(enc.CNF, pf)
-			pf.Close()
-			if err != nil {
-				log.Fatalf("unroutability certificate failed verification: %v", err)
+			opts.ProofWriter = proofFile
+		}
+		st, colors = solveWith(enc, opts, *timeout)
+		if proofFile != nil {
+			if err := proofFile.Close(); err != nil {
+				log.Fatal(err)
 			}
-			fmt.Printf("unroutability certificate written to %s and verified (DRAT)\n", *proof)
+			if st == sat.Unsat {
+				pf, err := os.Open(*proof)
+				if err != nil {
+					log.Fatal(err)
+				}
+				err = sat.CheckDRAT(enc.CNF, pf)
+				pf.Close()
+				if err != nil {
+					log.Fatalf("unroutability certificate failed verification: %v", err)
+				}
+				fmt.Printf("unroutability certificate written to %s and verified (DRAT)\n", *proof)
+			}
 		}
 	}
 	switch st {
@@ -216,7 +231,7 @@ func runPortfolio(gr *fpga.GlobalRouting, g *graph.Graph, w int, timeout time.Du
 		defer cancel()
 	}
 	span := reg.StartSpan("pipeline.solve")
-	winner, all, err := portfolio.RunObserved(ctx, g, w, portfolio.PaperPortfolio3(), reg)
+	winner, all, err := session.Portfolio(ctx, g, w, fpgasat.PaperPortfolio3())
 	span.End()
 	fmt.Println("portfolio strategies:")
 	for _, r := range all {
@@ -279,8 +294,27 @@ func dumpMetrics(trace bool, metricsOut string) {
 	}
 }
 
-func solveOnce(enc *core.Encoded, timeout time.Duration) (sat.Status, []int) {
-	return solveWith(enc, solverOptions(), timeout)
+// solveStreamed solves the width-w coloring through the session: the
+// encoding streams into a pooled solver's clause arena and the solver
+// returns to the pool afterwards, carrying its capacity to the next
+// solve in this process.
+func solveStreamed(g *graph.Graph, w int, s core.Strategy, timeout time.Duration) (sat.Status, []int) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	span := reg.StartSpan("pipeline.solve")
+	st, colors, err := session.SolveGraph(ctx, g, w, s, solverOptions())
+	span.End()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SAT solve: %v (streamed into pooled solver) -> %v\n",
+		time.Since(start).Round(time.Millisecond), st)
+	return st, colors
 }
 
 func solveWith(enc *core.Encoded, opts sat.Options, timeout time.Duration) (sat.Status, []int) {
@@ -303,29 +337,41 @@ func solveWith(enc *core.Encoded, opts sat.Options, timeout time.Duration) (sat.
 }
 
 // findMinimum performs the paper's optimality flow: descend from the
-// DSATUR upper bound, proving routability at each width until the
-// first unroutable one.
+// DSATUR upper bound until the first unroutable width. It runs the
+// incremental search on one pooled session solver — the graph is
+// encoded once at the upper bound and each width is a single
+// assumption probe, so learnt clauses carry over between widths.
 func findMinimum(gr *fpga.GlobalRouting, g *graph.Graph, s core.Strategy, timeout time.Duration) {
 	_, ub := coloring.DSATUR(g)
 	fmt.Printf("DSATUR upper bound: %d; clique lower bound: %d\n",
 		ub, len(coloring.GreedyClique(g)))
-	best := ub
-	for k := ub - 1; k >= 1; k-- {
-		span := reg.StartSpan("pipeline.encode")
-		enc := s.EncodeGraph(g, k)
-		span.End()
-		st, _ := solveOnce(enc, timeout)
-		if st == sat.Unsat {
-			fmt.Printf("minimum channel width: W=%d (W=%d proven unroutable)\n", best, k)
-			return
-		}
-		if st == sat.Unknown {
-			fmt.Printf("undecided at W=%d; best known routable width: %d\n", k, best)
-			os.Exit(1)
-		}
-		best = k
+	res, err := session.MinWidth(context.Background(), g, fpgasat.SearchOptions{
+		Strategy:     s,
+		Hi:           ub,
+		Solver:       solverOptions(),
+		ProbeTimeout: timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("minimum channel width: W=%d\n", best)
+	for _, p := range res.Probes {
+		fmt.Printf("  probe W=%-3d %-7v %10v %8d conflicts, %d learnt clauses carried in\n",
+			p.Width, p.Status, p.Duration.Round(time.Millisecond), p.Conflicts, p.Learnts)
+	}
+	switch {
+	case res.ProvedOptimal && res.MinWidth > 1:
+		fmt.Printf("minimum channel width: W=%d (W=%d proven unroutable)\n",
+			res.MinWidth, res.MinWidth-1)
+	case res.ProvedOptimal && res.MinWidth == 1:
+		fmt.Printf("minimum channel width: W=%d\n", res.MinWidth)
+	case res.MinWidth > 0:
+		fmt.Printf("undecided at W=%d; best known routable width: %d\n",
+			res.MinWidth-1, res.MinWidth)
+		os.Exit(1)
+	default:
+		fmt.Printf("undecided at W=%d; no routable width proven\n", ub)
+		os.Exit(1)
+	}
 }
 
 func printTracks(dr *fpga.DetailedRouting) {

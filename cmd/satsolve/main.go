@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -77,7 +78,7 @@ func main() {
 		}
 		opts.ProofWriter = proofFile
 	}
-	res := sat.SolveCNF(cnf, opts, nil)
+	res := sat.SolveCNFContext(context.Background(), cnf, opts)
 	if proofFile != nil {
 		if err := proofFile.Close(); err != nil {
 			log.Fatal(err)

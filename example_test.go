@@ -1,6 +1,7 @@
 package fpgasat_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -29,7 +30,7 @@ func ExampleEncodeCSP() {
 	csp := fpgasat.NewCSP(g, 3)
 	enc := fpgasat.EncodeCSP(csp, fpgasat.NewSimple(fpgasat.KindMuldirect))
 	fmt.Println(enc.CNF.NumVars, "variables,", enc.CNF.NumClauses(), "clauses")
-	res := fpgasat.SolveCNF(enc.CNF, fpgasat.SolverOptions{}, nil)
+	res := fpgasat.SolveCNFContext(context.Background(), enc.CNF, fpgasat.SolverOptions{})
 	fmt.Println(res.Status)
 	colors, _ := enc.Decode(res.Model)
 	fmt.Println("proper:", fpgasat.VerifyColoring(g, colors, 3) == nil)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -58,14 +59,14 @@ func main() {
 		log.Fatal(err)
 	}
 	w := inst.RoutableW
-	st, colors, err := strategy.EncodeGraph(conflict, w).Solve(sat.Options{}, nil)
+	st, colors, err := strategy.EncodeGraph(conflict, w).SolveContext(context.Background(), sat.Options{})
 	if err != nil || st != sat.Sat {
 		log.Fatalf("expected routable at W=%d: %v %v", w, st, err)
 	}
 	if _, err := fpga.AssignTracks(global, colors, w); err != nil {
 		log.Fatal(err)
 	}
-	stU, _, err := strategy.EncodeGraph(conflict, w-1).Solve(sat.Options{}, nil)
+	stU, _, err := strategy.EncodeGraph(conflict, w-1).SolveContext(context.Background(), sat.Options{})
 	if err != nil || stU != sat.Unsat {
 		log.Fatalf("expected unroutable at W=%d: %v %v", w-1, stU, err)
 	}

@@ -43,7 +43,7 @@ func main() {
 	fmt.Println("\nindividual runs:")
 	for _, m := range members {
 		start := time.Now()
-		status, _, err := m.EncodeGraph(conflict, w).Solve(sat.Options{}, nil)
+		status, _, err := m.EncodeGraph(conflict, w).SolveContext(context.Background(), sat.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func main() {
 	}
 	for w := global.MaxCongestion() + 1; w >= global.MaxCongestion()-1 && w >= 1; w-- {
 		enc := strategy.EncodeGraph(conflict, w)
-		status, colors, err := enc.Solve(fpgasat.SolverOptions{}, nil)
+		status, colors, err := enc.SolveContext(context.Background(), fpgasat.SolverOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

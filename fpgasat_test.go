@@ -33,7 +33,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	enc := strategy.EncodeGraph(conflict, ub)
-	res := fpgasat.SolveCNF(enc.CNF, fpgasat.SolverOptions{}, nil)
+	res := fpgasat.SolveCNFContext(context.Background(), enc.CNF, fpgasat.SolverOptions{})
 	if res.Status != fpgasat.Sat {
 		t.Fatalf("status %v at DSATUR bound", res.Status)
 	}
@@ -120,7 +120,7 @@ func TestPublicAPICSP(t *testing.T) {
 	}
 	csp := fpgasat.NewCSP(g, 2)
 	enc := fpgasat.EncodeCSP(csp, fpgasat.NewSimple(fpgasat.KindMuldirect))
-	res := fpgasat.SolveCNF(enc.CNF, fpgasat.SolverOptions{}, nil)
+	res := fpgasat.SolveCNFContext(context.Background(), enc.CNF, fpgasat.SolverOptions{})
 	if res.Status != fpgasat.Unsat {
 		t.Fatalf("triangle with 2 colors: %v", res.Status)
 	}

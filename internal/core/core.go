@@ -33,13 +33,19 @@ import (
 // CSP variables whose domain was restricted to a single value.
 type Cube []int
 
-// Negate returns the clause ¬cube as a literal slice (De Morgan).
+// Negate returns the clause ¬cube as a fresh literal slice (De Morgan).
 func (c Cube) Negate() []int {
-	out := make([]int, len(c))
-	for i, l := range c {
-		out[i] = -l
+	return c.AppendNegated(make([]int, 0, len(c)))
+}
+
+// AppendNegated appends the clause ¬cube to dst and returns the
+// extended slice — the allocation-free form of Negate used by emitters
+// that stream clauses from a reused scratch buffer (see ClauseSink).
+func (c Cube) AppendNegated(dst []int) []int {
+	for _, l := range c {
+		dst = append(dst, -l)
 	}
-	return out
+	return dst
 }
 
 // Eval reports whether the cube holds under the model (model[v-1] is
@@ -127,8 +133,14 @@ func (c *CSP) Verify(colors []int) error {
 	return nil
 }
 
-// alloc hands out fresh DIMACS variable indices (1-based).
-type alloc struct{ next int }
+// alloc hands out fresh DIMACS variable indices (1-based). It also
+// carries the scratch literal buffer emitters assemble clauses in
+// before streaming them into a ClauseSink (which must copy; see the
+// sink contract).
+type alloc struct {
+	next int
+	buf  []int
+}
 
 func newAlloc() *alloc { return &alloc{next: 1} }
 

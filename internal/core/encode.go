@@ -38,10 +38,11 @@ type Encoded struct {
 // EncodeInto translates the CSP to CNF under the given encoding,
 // streaming every clause into sink: per-variable structural clauses
 // first, then one conflict clause per edge per common domain value (the
-// negated pair of indexing patterns). Every clause is a fresh slice the
-// sink may retain. This is the hot path of the pipeline — with a
-// sat.SolverSink the clauses go straight into the solver's watch lists
-// with no intermediate copy.
+// negated pair of indexing patterns). Clauses are assembled in a scratch
+// buffer reused across calls — sinks copy what they keep, per the
+// ClauseSink contract. This is the hot path of the pipeline — with a
+// sat.SolverSink the clauses go straight into the solver's clause arena
+// with no intermediate garbage.
 func EncodeInto(csp *CSP, enc Encoding, sink ClauseSink) *Streamed {
 	a := newAlloc()
 	cs := &countingSink{sink: sink}
@@ -63,7 +64,9 @@ func EncodeInto(csp *CSP, enc Encoding, sink ClauseSink) *Streamed {
 			common = csp.Domain[v]
 		}
 		for c := 0; c < common; c++ {
-			cl := append(cubes[u][c].Negate(), cubes[v][c].Negate()...)
+			cl := cubes[u][c].AppendNegated(a.buf[:0])
+			cl = cubes[v][c].AppendNegated(cl)
+			a.buf = cl
 			cs.AddClause(cl...)
 		}
 	}
@@ -147,7 +150,23 @@ func (e *Streamed) DecodeVerify(model []bool) ([]int, error) {
 // Deprecated for new code: prefer SolveContext, which accepts a
 // context.Context instead of a raw channel.
 func (e *Encoded) Solve(opts sat.Options, stop <-chan struct{}) (sat.Status, []int, error) {
-	res := sat.SolveCNF(e.CNF, opts, stop)
+	return e.decodeResult(sat.SolveCNF(e.CNF, opts, stop))
+}
+
+// SolveContext is Solve with context-based cancellation: the solve
+// returns Unknown promptly once ctx is cancelled or its deadline
+// passes.
+func (e *Encoded) SolveContext(ctx context.Context, opts sat.Options) (sat.Status, []int, error) {
+	return e.decodeResult(sat.SolveCNFContext(ctx, e.CNF, opts))
+}
+
+// SolveReusing is SolveContext on a pooled solver (see sat.Pool); a
+// nil pool falls back to a fresh solver.
+func (e *Encoded) SolveReusing(ctx context.Context, pool *sat.Pool, opts sat.Options) (sat.Status, []int, error) {
+	return e.decodeResult(sat.SolveCNFReusing(ctx, pool, e.CNF, opts))
+}
+
+func (e *Encoded) decodeResult(res sat.Result) (sat.Status, []int, error) {
 	if res.Status != sat.Sat {
 		return res.Status, nil, nil
 	}
@@ -156,11 +175,4 @@ func (e *Encoded) Solve(opts sat.Options, stop <-chan struct{}) (sat.Status, []i
 		return res.Status, nil, err
 	}
 	return sat.Sat, colors, nil
-}
-
-// SolveContext is Solve with context-based cancellation: the solve
-// returns Unknown promptly once ctx is cancelled or its deadline
-// passes.
-func (e *Encoded) SolveContext(ctx context.Context, opts sat.Options) (sat.Status, []int, error) {
-	return e.Solve(opts, ctx.Done())
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -51,7 +52,7 @@ func TestEncodingsAgreeWithExactColoring(t *testing.T) {
 			if err := e.CNF.Validate(); err != nil {
 				t.Fatalf("%s: invalid CNF: %v", enc.Name(), err)
 			}
-			st, colors, err := e.Solve(sat.Options{}, nil)
+			st, colors, err := e.SolveContext(context.Background(), sat.Options{})
 			if err != nil {
 				t.Fatalf("%s trial %d: %v", enc.Name(), trial, err)
 			}
@@ -87,7 +88,7 @@ func TestSymmetryPreservesSatisfiability(t *testing.T) {
 		_, want, _ := coloring.KColorable(g, k, 0)
 		for _, h := range []symmetry.Heuristic{symmetry.B1, symmetry.S1, symmetry.C1} {
 			for _, enc := range encs {
-				st, colors, err := Strategy{enc, h}.EncodeGraph(g, k).Solve(sat.Options{}, nil)
+				st, colors, err := Strategy{enc, h}.EncodeGraph(g, k).SolveContext(context.Background(), sat.Options{})
 				if err != nil {
 					t.Fatalf("%s/%s: %v", enc.Name(), h, err)
 				}
@@ -115,7 +116,7 @@ func TestEncodeAdjacentSingletonDomainsUnsat(t *testing.T) {
 		csp := NewCSP(g, 3)
 		csp.RestrictDomain(0, 1)
 		csp.RestrictDomain(1, 1)
-		st, _, err := Encode(csp, enc).Solve(sat.Options{}, nil)
+		st, _, err := Encode(csp, enc).SolveContext(context.Background(), sat.Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", enc.Name(), err)
 		}
@@ -128,10 +129,10 @@ func TestEncodeAdjacentSingletonDomainsUnsat(t *testing.T) {
 func TestEncodeTriangleNeedsThreeColors(t *testing.T) {
 	tri := graph.Complete(3)
 	for _, enc := range allTestEncodings(t) {
-		if st, _, _ := Encode(NewCSP(tri, 2), enc).Solve(sat.Options{}, nil); st != sat.Unsat {
+		if st, _, _ := Encode(NewCSP(tri, 2), enc).SolveContext(context.Background(), sat.Options{}); st != sat.Unsat {
 			t.Errorf("%s: K3 with 2 colors gave %v", enc.Name(), st)
 		}
-		st, colors, err := Encode(NewCSP(tri, 3), enc).Solve(sat.Options{}, nil)
+		st, colors, err := Encode(NewCSP(tri, 3), enc).SolveContext(context.Background(), sat.Options{})
 		if err != nil || st != sat.Sat {
 			t.Errorf("%s: K3 with 3 colors gave %v, %v", enc.Name(), st, err)
 			continue
@@ -145,7 +146,7 @@ func TestEncodeTriangleNeedsThreeColors(t *testing.T) {
 func TestEncodeEmptyGraph(t *testing.T) {
 	g := graph.New(0)
 	for _, enc := range PaperEncodings() {
-		st, colors, err := Encode(NewCSP(g, 4), enc).Solve(sat.Options{}, nil)
+		st, colors, err := Encode(NewCSP(g, 4), enc).SolveContext(context.Background(), sat.Options{})
 		if err != nil || st != sat.Sat || len(colors) != 0 {
 			t.Errorf("%s: empty graph gave %v %v %v", enc.Name(), st, colors, err)
 		}
@@ -155,7 +156,7 @@ func TestEncodeEmptyGraph(t *testing.T) {
 func TestEncodeIsolatedVertices(t *testing.T) {
 	g := graph.New(5)
 	for _, enc := range PaperEncodings() {
-		st, colors, err := Encode(NewCSP(g, 2), enc).Solve(sat.Options{}, nil)
+		st, colors, err := Encode(NewCSP(g, 2), enc).SolveContext(context.Background(), sat.Options{})
 		if err != nil || st != sat.Sat {
 			t.Fatalf("%s: %v %v", enc.Name(), st, err)
 		}

@@ -37,7 +37,7 @@ func (e simpleEncoding) Multivalued() bool { return e.kind == KindMuldirect }
 
 func (e simpleEncoding) emitVar(d int, a *alloc, sink ClauseSink) []Cube {
 	vars := a.block(numVarsFor(e.kind, d))
-	emitStructural(e.kind, d, vars, sink)
+	emitStructural(e.kind, d, vars, a, sink)
 	return cubesFor(e.kind, d, vars)
 }
 
@@ -132,7 +132,7 @@ func buildSub(levels []Level, leaf Kind, maxSize int, a *alloc, sink ClauseSink)
 	}
 	if len(levels) == 0 {
 		vars := a.block(numVarsFor(leaf, maxSize))
-		emitStructural(leaf, maxSize, vars, sink)
+		emitStructural(leaf, maxSize, vars, a, sink)
 		return subEncoding{
 			maxSize: maxSize,
 			pureITE: leaf.isITE(),
@@ -142,7 +142,7 @@ func buildSub(levels []Level, leaf Kind, maxSize int, a *alloc, sink ClauseSink)
 	level := levels[0]
 	gMax := groupCount(level, maxSize)
 	topVars := a.block(numVarsFor(level.Kind, gMax))
-	emitStructural(level.Kind, gMax, topVars, sink)
+	emitStructural(level.Kind, gMax, topVars, a, sink)
 	sizesMax := balancedSizes(maxSize, gMax)
 	sub := buildSub(levels[1:], leaf, sizesMax[0], a, sink)
 
@@ -153,7 +153,9 @@ func buildSub(levels []Level, leaf Kind, maxSize int, a *alloc, sink ClauseSink)
 		subCubes := sub.cubes(sub.maxSize)
 		for j, sz := range sizesMax {
 			for t := sz; t < sub.maxSize; t++ {
-				cl := append(topCubes[j].Negate(), subCubes[t].Negate()...)
+				cl := topCubes[j].AppendNegated(a.buf[:0])
+				cl = subCubes[t].AppendNegated(cl)
+				a.buf = cl
 				sink.AddClause(cl...)
 			}
 		}

@@ -1,0 +1,40 @@
+package core
+
+import "testing"
+
+// FuzzParseEncodingName checks that paper-style encoding-name parsing
+// never panics and that every accepted name's canonical form (Name())
+// reparses to the same canonical form.
+func FuzzParseEncodingName(f *testing.F) {
+	for _, name := range PaperEncodingNames {
+		f.Add(name)
+	}
+	for _, s := range []string{
+		"",
+		"log-",
+		"ITE-log-0+direct",
+		"direct-3+",
+		"+",
+		"a+b",
+		"ITE-linear-2+muldirect+",
+		"direct-99999999999999999999+log",
+		"muldirect-3+direct-2+log",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		enc, err := ByName(name)
+		if err != nil {
+			return
+		}
+		canonical := enc.Name()
+		enc2, err := ByName(canonical)
+		if err != nil {
+			t.Fatalf("Name() %q of accepted %q does not reparse: %v", canonical, name, err)
+		}
+		if enc2.Name() != canonical {
+			t.Fatalf("Name() not stable: %q reparses to %q", canonical, enc2.Name())
+		}
+		_ = enc.Multivalued()
+	})
+}

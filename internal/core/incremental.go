@@ -65,14 +65,16 @@ func EncodeIncremental(csp *CSP, enc Encoding, lo int, sink ClauseSink) *Increme
 	for i := 0; i+1 < n; i++ {
 		cs.AddClause(-inc.selectors[i], inc.selectors[i+1])
 	}
+	var buf []int // scratch; sinks copy what they keep
 	for w := lo; w < csp.K; w++ {
 		sel := inc.selectors[w-lo]
 		for v := 0; v < csp.G.N(); v++ {
 			if csp.Domain[v] <= w {
 				continue
 			}
-			cl := append([]int{-sel}, st.Cubes[v][w].Negate()...)
-			cs.AddClause(cl...)
+			buf = append(buf[:0], -sel)
+			buf = st.Cubes[v][w].AppendNegated(buf)
+			cs.AddClause(buf...)
 		}
 	}
 	inc.GuardClauses = cs.n

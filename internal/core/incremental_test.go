@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -39,9 +40,9 @@ func TestEncodeIncrementalWidthEquivalence(t *testing.T) {
 			cnf.NumVars = inc.NumVars
 		}
 		for w := 1; w <= K; w++ {
-			want := sat.SolveCNF(
+			want := sat.SolveCNFContext(context.Background(),
 				Encode(BuildCSP(g, w, strat.Symmetry), strat.Encoding).CNF,
-				sat.Options{}, nil).Status
+				sat.Options{}).Status
 			probe := &sat.CNF{NumVars: cnf.NumVars}
 			for _, cl := range cnf.Clauses {
 				probe.AddClause(cl...)
@@ -49,7 +50,7 @@ func TestEncodeIncrementalWidthEquivalence(t *testing.T) {
 			if sel := inc.SelectorVar(w); sel != 0 {
 				probe.AddClause(sel)
 			}
-			res := sat.SolveCNF(probe, sat.Options{}, nil)
+			res := sat.SolveCNFContext(context.Background(), probe, sat.Options{})
 			if res.Status != want {
 				t.Fatalf("round %d %s width %d: incremental %v, single-shot %v",
 					round, strat.Name(), w, res.Status, want)

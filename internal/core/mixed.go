@@ -63,7 +63,7 @@ func (e mixedEncoding) emitVar(d int, a *alloc, sink ClauseSink) []Cube {
 	g := groupCount(e.top, d)
 	topVars := a.block(numVarsFor(e.top.Kind, g))
 	topCubes := cubesFor(e.top.Kind, g, topVars)
-	emitStructural(e.top.Kind, g, topVars, sink)
+	emitStructural(e.top.Kind, g, topVars, a, sink)
 
 	sizes := balancedSizes(d, g)
 	cubes := make([]Cube, 0, d)

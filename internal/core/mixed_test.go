@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -104,7 +105,7 @@ func TestMixedAgreesWithExactColoring(t *testing.T) {
 		k := 2 + rng.Intn(4)
 		_, want, _ := coloring.KColorable(g, k, 0)
 		for _, enc := range mixedTestEncodings() {
-			st, colors, err := Encode(NewCSP(g, k), enc).Solve(sat.Options{}, nil)
+			st, colors, err := Encode(NewCSP(g, k), enc).SolveContext(context.Background(), sat.Options{})
 			if err != nil {
 				t.Fatalf("%s: %v", enc.Name(), err)
 			}

@@ -176,9 +176,9 @@ func cubesFor(k Kind, d int, vars []int) []Cube {
 // d over the variable block into sink: at-least-one (direct,
 // muldirect), at-most-one (direct), excluded-illegal-values (log).
 // ITE-tree encodings have none — the tree structure guarantees exactly
-// one leaf is selected by every assignment. Every emitted clause is a
-// fresh slice the sink may retain.
-func emitStructural(k Kind, d int, vars []int, sink ClauseSink) {
+// one leaf is selected by every assignment. Clauses are assembled in
+// the allocator's scratch buffer; sinks copy what they keep.
+func emitStructural(k Kind, d int, vars []int, a *alloc, sink ClauseSink) {
 	if d == 1 {
 		return
 	}
@@ -186,19 +186,20 @@ func emitStructural(k Kind, d int, vars []int, sink ClauseSink) {
 	case KindLog:
 		m := numVarsFor(k, d)
 		for illegal := d; illegal < 1<<uint(m); illegal++ {
-			cl := make([]int, m)
+			cl := a.buf[:0]
 			for j := 0; j < m; j++ {
 				if illegal&(1<<uint(j)) != 0 {
-					cl[j] = -vars[j]
+					cl = append(cl, -vars[j])
 				} else {
-					cl[j] = vars[j]
+					cl = append(cl, vars[j])
 				}
 			}
+			a.buf = cl
 			sink.AddClause(cl...)
 		}
 	case KindDirect:
-		alo := make([]int, d)
-		copy(alo, vars[:d])
+		alo := append(a.buf[:0], vars[:d]...)
+		a.buf = alo
 		sink.AddClause(alo...)
 		for i := 0; i < d; i++ {
 			for j := i + 1; j < d; j++ {
@@ -206,8 +207,8 @@ func emitStructural(k Kind, d int, vars []int, sink ClauseSink) {
 			}
 		}
 	case KindMuldirect:
-		alo := make([]int, d)
-		copy(alo, vars[:d])
+		alo := append(a.buf[:0], vars[:d]...)
+		a.buf = alo
 		sink.AddClause(alo...)
 	case KindITELinear, KindITELog:
 		// none
@@ -218,6 +219,6 @@ func emitStructural(k Kind, d int, vars []int, sink ClauseSink) {
 // tests and size introspection.
 func structuralFor(k Kind, d int, vars []int) [][]int {
 	var c clauseCollector
-	emitStructural(k, d, vars, &c)
+	emitStructural(k, d, vars, &alloc{}, &c)
 	return c.clauses
 }

@@ -6,24 +6,29 @@ package core
 // conflict and guard clauses into a sink instead of materializing an
 // intermediate clause list.
 //
-// Contract: every AddClause call passes a slice the sink may retain —
-// emitters never reuse or mutate a clause after handing it over. Sinks
-// must accept clauses over variables they have not seen before (DIMACS
+// Contract: the literal slice is only valid for the duration of the
+// AddClause call — emitters stream clauses from a scratch buffer they
+// reuse, so a sink that wants to keep a clause must copy it. (This is
+// the memory-model inversion that removes per-clause slice garbage
+// from the encode hot path: the common sinks — a solver's watch lists,
+// a counting sink — never needed ownership of the slice.) Sinks must
+// accept clauses over variables they have not seen before (DIMACS
 // indices are allocated densely from 1 by the encoder). The two
-// production sinks are *sat.CNF (buffering; preserves DIMACS export and
-// every existing entry point) and sat.SolverSink (streams straight into
-// an incremental solver with no intermediate copy).
+// production sinks are *sat.CNF (buffering; copies each clause) and
+// sat.SolverSink (streams straight into an incremental solver, which
+// copies literals into its clause arena).
 type ClauseSink interface {
 	AddClause(lits ...int)
 }
 
 // clauseCollector is a ClauseSink that materializes the emitted clauses,
 // used by the materializing compatibility wrappers and by tests that
-// inspect an encoding's structural clauses directly.
+// inspect an encoding's structural clauses directly. Per the sink
+// contract it copies every clause.
 type clauseCollector struct{ clauses [][]int }
 
 func (c *clauseCollector) AddClause(lits ...int) {
-	c.clauses = append(c.clauses, lits)
+	c.clauses = append(c.clauses, append([]int(nil), lits...))
 }
 
 // countingSink forwards clauses to an underlying sink while counting

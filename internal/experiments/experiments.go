@@ -36,8 +36,10 @@ func (t Timing) Total() time.Duration { return t.Translate + t.Encode + t.Solve 
 // RunStrategy times one strategy on a prebuilt conflict graph. The
 // translate duration is supplied by the caller (it is shared across
 // strategies, but the paper charges it to every run, so we do too).
-// A zero timeout means no timeout.
-func RunStrategy(g *graph.Graph, k int, s core.Strategy, translate time.Duration, timeout time.Duration) Timing {
+// A zero timeout means no timeout. pool, when non-nil, supplies the
+// solver, so a sweep reuses clause-arena and watch-list capacity
+// between runs; nil solves on a fresh solver.
+func RunStrategy(g *graph.Graph, k int, s core.Strategy, translate time.Duration, timeout time.Duration, pool *sat.Pool) Timing {
 	encStart := time.Now()
 	enc := s.EncodeGraph(g, k)
 	encDur := time.Since(encStart)
@@ -49,7 +51,7 @@ func RunStrategy(g *graph.Graph, k int, s core.Strategy, translate time.Duration
 		defer cancel()
 	}
 	solveStart := time.Now()
-	res := sat.SolveCNFContext(ctx, enc.CNF, sat.Options{})
+	res := sat.SolveCNFReusing(ctx, pool, enc.CNF, sat.Options{})
 	solveDur := time.Since(solveStart)
 
 	// For satisfiable results, decoding and verification are part of

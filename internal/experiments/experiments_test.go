@@ -247,7 +247,8 @@ func TestRunStrategyTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := mustStrategy(t, "muldirect/-")
-	tm := RunStrategy(g, in.UnroutableW(), s, translate, time.Millisecond)
+	var pool sat.Pool
+	tm := RunStrategy(g, in.UnroutableW(), s, translate, time.Millisecond, &pool)
 	if tm.Status == sat.Sat {
 		t.Fatal("unsat instance reported Sat")
 	}

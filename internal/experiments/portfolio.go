@@ -22,6 +22,10 @@ type PortfolioConfig struct {
 	// Obs, when non-nil, receives per-strategy portfolio telemetry
 	// (encode/solve timers, CNF sizes, wins, winner margin).
 	Obs *obs.Registry
+	// Pool, when non-nil, supplies reusable solvers to the single-
+	// strategy baseline and every portfolio lane; nil keeps the
+	// portfolio's default lane pool and fresh baseline solvers.
+	Pool *sat.Pool
 }
 
 // PortfolioResult compares the best single strategy against the
@@ -60,7 +64,7 @@ func RunPortfolio(cfg PortfolioConfig) (*PortfolioResult, error) {
 		}
 		w := in.UnroutableW()
 
-		t := RunStrategy(g, w, single, translate, cfg.Timeout)
+		t := RunStrategy(g, w, single, translate, cfg.Timeout, cfg.Pool)
 		res.Single = append(res.Single, t.Total())
 		res.TotalSingle += t.Total()
 
@@ -71,7 +75,13 @@ func RunPortfolio(cfg PortfolioConfig) (*PortfolioResult, error) {
 			if cfg.Timeout > 0 {
 				ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 			}
-			winner, _, err := portfolio.RunObserved(ctx, g, w, members, cfg.Obs)
+			var winner portfolio.Result
+			var err error
+			if cfg.Pool != nil {
+				winner, _, err = portfolio.RunPooled(ctx, g, w, members, cfg.Obs, cfg.Pool)
+			} else {
+				winner, _, err = portfolio.RunObserved(ctx, g, w, members, cfg.Obs)
+			}
 			cancel()
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s portfolio: %w", in.Name, err)

@@ -21,6 +21,9 @@ type RoutableConfig struct {
 	Symmetry  string          // heuristic applied to every encoding ("", "b1", "s1")
 	Timeout   time.Duration
 	Progress  io.Writer
+	// Pool, when non-nil, supplies reusable solvers for every timed
+	// solve; nil measures on fresh solvers.
+	Pool *sat.Pool
 }
 
 // RoutableResult is the grid of satisfiable-solve times.
@@ -59,7 +62,7 @@ func RunRoutable(cfg RoutableConfig) (*RoutableResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			t := RunStrategy(g, in.RoutableW, s, translate, cfg.Timeout)
+			t := RunStrategy(g, in.RoutableW, s, translate, cfg.Timeout, cfg.Pool)
 			if t.Status == sat.Unsat {
 				return nil, fmt.Errorf("experiments: %s at W=%d claims unroutable; calibration broken",
 					in.Name, in.RoutableW)

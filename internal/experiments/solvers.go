@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -22,6 +23,9 @@ type SolverCompareConfig struct {
 	Strategy  string          // defaults to "ITE-linear-2+muldirect/s1"
 	Timeout   time.Duration
 	Progress  io.Writer
+	// Pool, when non-nil, supplies reusable solvers; nil measures on
+	// fresh solvers.
+	Pool *sat.Pool
 }
 
 // SolverCompareResult aggregates per-profile totals on the
@@ -75,14 +79,14 @@ func RunSolverCompare(cfg SolverCompareConfig) (*SolverCompareResult, error) {
 				{in.RoutableW, sat.Sat, satRow, &res.SatTotal[pi]},
 			} {
 				enc := strategy.EncodeGraph(g, side.w)
-				var stop chan struct{}
+				ctx := context.Background()
 				if cfg.Timeout > 0 {
-					stop = make(chan struct{})
-					timer := time.AfterFunc(cfg.Timeout, func() { close(stop) })
-					defer timer.Stop()
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+					defer cancel()
 				}
 				start := time.Now()
-				r := sat.SolveCNF(enc.CNF, p.Opts, stop)
+				r := sat.SolveCNFReusing(ctx, cfg.Pool, enc.CNF, p.Opts)
 				elapsed := time.Since(start)
 				if r.Status != side.want && r.Status != sat.Unknown {
 					return nil, fmt.Errorf("experiments: %s W=%d: got %v, want %v",

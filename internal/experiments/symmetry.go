@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fpgasat/internal/mcnc"
+	"fpgasat/internal/sat"
 )
 
 // SymmetryAblationConfig controls the symmetry-heuristic ablation:
@@ -15,6 +16,9 @@ type SymmetryAblationConfig struct {
 	Encoding  string          // defaults to "ITE-linear-2+muldirect"
 	Timeout   time.Duration
 	Progress  progressWriter
+	// Pool, when non-nil, supplies reusable solvers; nil measures on
+	// fresh solvers.
+	Pool *sat.Pool
 }
 
 type progressWriter interface{ Write([]byte) (int, error) }
@@ -36,6 +40,7 @@ func RunSymmetryAblation(cfg SymmetryAblationConfig) (*Table2Result, error) {
 		Columns:   cols,
 		Timeout:   cfg.Timeout,
 		Progress:  cfg.Progress,
+		Pool:      cfg.Pool,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: symmetry ablation: %w", err)

@@ -40,6 +40,9 @@ type Table2Config struct {
 	Columns   []string        // defaults to Table2Columns
 	Timeout   time.Duration   // per solve; 0 means none
 	Progress  io.Writer       // optional live progress
+	// Pool, when non-nil, supplies reusable solvers for every timed
+	// solve (see sat.Pool); nil measures on fresh solvers.
+	Pool *sat.Pool
 }
 
 // Table2Cell is one measurement.
@@ -90,7 +93,7 @@ func RunTable2(cfg Table2Config) (*Table2Result, error) {
 		w := in.UnroutableW()
 		row := make([]Table2Cell, len(strategies))
 		for si, s := range strategies {
-			t := RunStrategy(g, w, s, translate, cfg.Timeout)
+			t := RunStrategy(g, w, s, translate, cfg.Timeout, cfg.Pool)
 			if t.Status == sat.Sat {
 				return nil, fmt.Errorf("experiments: %s at W=%d claims routable; calibration broken",
 					in.Name, w)

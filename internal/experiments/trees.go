@@ -25,6 +25,9 @@ type TreeAblationConfig struct {
 	Symmetry    symmetry.Heuristic
 	Timeout     time.Duration
 	Progress    io.Writer
+	// Pool, when non-nil, supplies reusable solvers for every timed
+	// solve; nil measures on fresh solvers.
+	Pool *sat.Pool
 }
 
 // TreeAblationResult holds per-shape measurements at both widths.
@@ -66,11 +69,11 @@ func RunTreeAblation(cfg TreeAblationConfig) (*TreeAblationResult, error) {
 	res := &TreeAblationResult{Instance: in.Name}
 	for _, enc := range encodings {
 		s := core.Strategy{Encoding: enc, Symmetry: cfg.Symmetry}
-		tu := RunStrategy(g, in.UnroutableW(), s, 0, cfg.Timeout)
+		tu := RunStrategy(g, in.UnroutableW(), s, 0, cfg.Timeout, cfg.Pool)
 		if tu.Status == sat.Sat {
 			return nil, fmt.Errorf("experiments: tree ablation: %s unexpectedly routable", in.Name)
 		}
-		ts := RunStrategy(g, in.RoutableW, s, 0, cfg.Timeout)
+		ts := RunStrategy(g, in.RoutableW, s, 0, cfg.Timeout, cfg.Pool)
 		if ts.Status == sat.Unsat {
 			return nil, fmt.Errorf("experiments: tree ablation: %s unexpectedly unroutable", in.Name)
 		}

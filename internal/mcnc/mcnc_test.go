@@ -2,6 +2,7 @@ package mcnc
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -149,7 +150,7 @@ func TestDecodedRoutingVerifies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, colors, err := s.EncodeGraph(g, in.RoutableW).Solve(sat.Options{}, nil)
+	st, colors, err := s.EncodeGraph(g, in.RoutableW).SolveContext(context.Background(), sat.Options{})
 	if err != nil || st != sat.Sat {
 		t.Fatalf("%v %v", st, err)
 	}
@@ -175,7 +176,7 @@ func TestUnroutabilityCertificate(t *testing.T) {
 	}
 	enc := s.EncodeGraph(g, in.UnroutableW())
 	var proof bytes.Buffer
-	res := sat.SolveCNF(enc.CNF, sat.Options{ProofWriter: &proof}, nil)
+	res := sat.SolveCNFContext(context.Background(), enc.CNF, sat.Options{ProofWriter: &proof})
 	if res.Status != sat.Unsat {
 		t.Fatalf("status %v", res.Status)
 	}

@@ -28,6 +28,13 @@ const (
 	MetricCNFClauses   = "portfolio.cnf_clauses"      // gauge per strategy
 	MetricWins         = "portfolio.wins"             // counter per strategy
 	MetricWinnerMargin = "portfolio.winner_margin_ns" // gauge: runner-up lag behind the winner
+	// Solver-reuse metrics of the lane pool (see sat.Pool): cumulative
+	// solver hand-outs, how many were recycled instances, and the arena
+	// footprint sample of the most recently returned solver.
+	MetricPoolGets   = "sat.reset.solvers"
+	MetricPoolReuses = "sat.reset.count"
+	MetricArenaWords = "sat.arena.words"
+	MetricArenaCap   = "sat.arena.cap_words"
 )
 
 // Result is the outcome of one strategy within a portfolio run.
@@ -77,6 +84,23 @@ func RunContext(ctx context.Context, g *graph.Graph, k int, strategies []core.St
 // next definite answer (or cancelled loser) finished, i.e. the
 // cancellation latency the portfolio pays.
 func RunObserved(ctx context.Context, g *graph.Graph, k int, strategies []core.Strategy, reg *obs.Registry) (Result, []Result, error) {
+	return RunPooled(ctx, g, k, strategies, reg, &lanePool)
+}
+
+// lanePool is the package-default solver pool shared by portfolio runs
+// that do not bring their own: sequential runs (width sweeps, batch
+// experiments) then reuse lane solvers across runs.
+var lanePool sat.Pool
+
+// PoolStats returns the solver-reuse counters of the package-default
+// lane pool.
+func PoolStats() sat.PoolStats { return lanePool.Stats() }
+
+// RunPooled is RunObserved drawing each lane's solver from the given
+// pool (nil falls back to fresh solvers), so callers that own a
+// long-lived pool — a facade Session serving many requests — carry
+// solver capacity across runs.
+func RunPooled(ctx context.Context, g *graph.Graph, k int, strategies []core.Strategy, reg *obs.Registry, pool *sat.Pool) (Result, []Result, error) {
 	if len(strategies) == 0 {
 		return Result{}, nil, fmt.Errorf("portfolio: no strategies")
 	}
@@ -89,13 +113,21 @@ func RunObserved(ctx context.Context, g *graph.Graph, k int, strategies []core.S
 		wg.Add(1)
 		go func(i int, s core.Strategy) {
 			defer wg.Done()
-			results[i] = runStrategy(runCtx, g, k, s, reg)
+			results[i] = runStrategy(runCtx, g, k, s, reg, pool)
 			if r := &results[i]; r.Err == nil && r.Status != sat.Unknown {
 				cancel() // first definite answer terminates the rest
 			}
 		}(i, s)
 	}
 	wg.Wait()
+
+	if reg != nil && pool != nil {
+		ps := pool.Stats()
+		reg.Gauge(MetricPoolGets).Set(ps.Gets)
+		reg.Gauge(MetricPoolReuses).Set(ps.Reuses)
+		reg.Gauge(MetricArenaWords).Set(ps.ArenaWords)
+		reg.Gauge(MetricArenaCap).Set(ps.ArenaCapWords)
+	}
 
 	winner, err := combine(results)
 	if err != nil {
@@ -121,8 +153,9 @@ func RunObserved(ctx context.Context, g *graph.Graph, k int, strategies []core.S
 }
 
 // runStrategy executes one portfolio member: encode, solve, decode,
-// with per-stage telemetry.
-func runStrategy(ctx context.Context, g *graph.Graph, k int, s core.Strategy, reg *obs.Registry) Result {
+// with per-stage telemetry. The encoding streams straight into the
+// lane's (pooled) solver — no intermediate CNF is materialized.
+func runStrategy(ctx context.Context, g *graph.Graph, k int, s core.Strategy, reg *obs.Registry, pool *sat.Pool) Result {
 	res := Result{Strategy: s, Status: sat.Unknown}
 	if ctx.Err() != nil {
 		return res // cancelled before this member even encoded
@@ -130,22 +163,31 @@ func runStrategy(ctx context.Context, g *graph.Graph, k int, s core.Strategy, re
 	name := s.Name()
 	start := time.Now()
 
+	var solver *sat.Solver
+	if pool != nil {
+		solver = pool.Get(sat.Options{})
+		defer pool.Put(solver)
+	} else {
+		solver = sat.New(sat.Options{})
+	}
+
 	span := reg.StartSpan(MetricEncode + "." + name)
-	enc := s.EncodeGraph(g, k)
+	csp := core.BuildCSP(g, k, s.Symmetry)
+	enc := core.EncodeInto(csp, s.Encoding, sat.SolverSink{S: solver})
 	res.EncodeTime = span.End()
-	res.Vars = enc.CNF.NumVars
-	res.Clauses = enc.CNF.NumClauses()
+	res.Vars = enc.NumVars
+	res.Clauses = enc.StructuralClauses + enc.ConflictClauses
 	if reg != nil {
 		reg.Gauge(MetricCNFVars + "." + name).Set(int64(res.Vars))
 		reg.Gauge(MetricCNFClauses + "." + name).Set(int64(res.Clauses))
 	}
 
 	span = reg.StartSpan(MetricSolve + "." + name)
-	sr := sat.SolveCNFContext(ctx, enc.CNF, sat.Options{})
-	res.Status = sr.Status
-	res.Stats = sr.Stats
-	if sr.Status == sat.Sat {
-		res.Colors, res.Err = enc.DecodeVerify(sr.Model)
+	st := solver.SolveAssumingContext(ctx)
+	res.Status = st
+	res.Stats = solver.Stats
+	if st == sat.Sat {
+		res.Colors, res.Err = enc.DecodeVerify(solver.Model())
 	}
 	res.SolveTime = span.End()
 	res.Elapsed = time.Since(start)

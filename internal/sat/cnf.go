@@ -17,8 +17,10 @@ type CNF struct {
 	Comments []string
 }
 
-// AddClause appends a clause. The slice is retained; callers must not
-// reuse it.
+// AddClause appends a copy of the clause. Callers may reuse the slice
+// after the call, per the clause-sink contract (see core.ClauseSink):
+// emitters stream clauses from a scratch buffer and every sink copies
+// what it intends to keep.
 func (c *CNF) AddClause(lits ...int) {
 	for _, l := range lits {
 		if l == 0 {
@@ -28,7 +30,7 @@ func (c *CNF) AddClause(lits ...int) {
 			c.NumVars = v
 		}
 	}
-	c.Clauses = append(c.Clauses, lits)
+	c.Clauses = append(c.Clauses, append([]int(nil), lits...))
 }
 
 // NumClauses returns the number of clauses.
@@ -95,7 +97,20 @@ type Result struct {
 // passes. This is the preferred cancellation API; the stop-channel
 // parameter of SolveCNF is retained for backward compatibility.
 func SolveCNFContext(ctx context.Context, c *CNF, opts Options) Result {
-	return SolveCNF(c, opts, ctx.Done())
+	return solveCNFOn(New(opts), c, ctx.Done())
+}
+
+// SolveCNFReusing is SolveCNFContext on a pooled solver: the solver is
+// taken from the pool (reset and configured with opts), used for this
+// one solve, and returned afterwards. A nil pool falls back to a fresh
+// solver.
+func SolveCNFReusing(ctx context.Context, pool *Pool, c *CNF, opts Options) Result {
+	if pool == nil {
+		return SolveCNFContext(ctx, c, opts)
+	}
+	s := pool.Get(opts)
+	defer pool.Put(s)
+	return solveCNFOn(s, c, ctx.Done())
 }
 
 // SolveCNF is a convenience wrapper: load the formula into a fresh
@@ -105,22 +120,36 @@ func SolveCNFContext(ctx context.Context, c *CNF, opts Options) Result {
 // Deprecated for new code: prefer SolveCNFContext, which accepts a
 // context.Context instead of a raw channel.
 func SolveCNF(c *CNF, opts Options, stop <-chan struct{}) Result {
-	s := New(opts)
+	return solveCNFOn(New(opts), c, stop)
+}
+
+// solveCNFOn loads the formula into s and solves it, with optional
+// stop-channel cancellation. The watcher goroutine is joined before
+// returning so that a late Stop can never land on a solver that has
+// already been handed to another solve (essential once solvers are
+// pooled and reused).
+func solveCNFOn(s *Solver, c *CNF, stop <-chan struct{}) Result {
 	if !s.Load(c) {
 		return Result{Status: Unsat, Stats: s.Stats}
 	}
+	var st Status
 	if stop != nil {
 		done := make(chan struct{})
-		defer close(done)
+		exited := make(chan struct{})
 		go func() {
+			defer close(exited)
 			select {
 			case <-stop:
 				s.Stop()
 			case <-done:
 			}
 		}()
+		st = s.Solve()
+		close(done)
+		<-exited
+	} else {
+		st = s.Solve()
 	}
-	st := s.Solve()
 	res := Result{Status: st, Stats: s.Stats}
 	if st == Sat {
 		m := s.Model()

@@ -1,0 +1,60 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDimacs checks that ParseDIMACS never panics, that every
+// formula it accepts is structurally valid, and that accepted formulas
+// survive a WriteDIMACS/ParseDIMACS round trip unchanged.
+func FuzzParseDimacs(f *testing.F) {
+	seeds := []string{
+		"p cnf 2 1\n1 2 0\n",
+		"p cnf 2 1\n1 2", // missing final terminator is tolerated
+		"c conflict graph of instance alu2\np cnf 3 2\n1 -2 0\n-1\n3 0\n",
+		"p cnf 0 0\n",
+		"p cnf 1 1\n0\n",              // empty clause
+		"p cnf 2 3\n1 0\n",            // fewer clauses than declared
+		"p cnf 1 1\n5 -5 0\n",         // literals beyond the header grow NumVars
+		"p cnf x y\n",                 // malformed header
+		"1 2 0\n",                     // clause before header
+		"p cnf 2 1\np cnf 2 1\n1 0\n", // duplicate header
+		"\n\nc only comments\nc and blanks\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		cnf, err := ParseDIMACS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := cnf.Validate(); err != nil {
+			t.Fatalf("accepted formula fails Validate: %v\ninput: %q", err, in)
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, cnf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		back, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\noutput: %q", err, buf.String())
+		}
+		if back.NumVars != cnf.NumVars || len(back.Clauses) != len(cnf.Clauses) {
+			t.Fatalf("round trip changed shape: vars %d->%d, clauses %d->%d",
+				cnf.NumVars, back.NumVars, len(cnf.Clauses), len(back.Clauses))
+		}
+		for i, cl := range cnf.Clauses {
+			if len(back.Clauses[i]) != len(cl) {
+				t.Fatalf("clause %d: length %d -> %d", i, len(cl), len(back.Clauses[i]))
+			}
+			for j, l := range cl {
+				if back.Clauses[i][j] != l {
+					t.Fatalf("clause %d literal %d: %d -> %d", i, j, l, back.Clauses[i][j])
+				}
+			}
+		}
+	})
+}

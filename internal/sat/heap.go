@@ -15,6 +15,13 @@ func newVarHeap(act *[]float64) *varHeap {
 	return &varHeap{act: act}
 }
 
+// reset empties the heap for solver reuse, retaining capacity; grow
+// refills the index map as variables are reintroduced.
+func (h *varHeap) reset() {
+	h.heap = h.heap[:0]
+	h.indices = h.indices[:0]
+}
+
 func (h *varHeap) less(a, b Var) bool {
 	return (*h.act)[a] > (*h.act)[b]
 }

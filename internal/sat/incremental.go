@@ -116,13 +116,13 @@ func (s *Solver) analyzeFinal(p Lit) {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if r := s.reason[v]; r == nil {
+		if r := s.reason[v]; r == RefUndef {
 			if s.level[v] > 0 {
 				s.conflictCore = append(s.conflictCore, s.trail[i])
 			}
 		} else {
-			for _, q := range r.lits[1:] {
-				if s.level[q.Var()] > 0 {
+			for _, qw := range s.ca.lits(r)[1:] {
+				if q := Lit(qw); s.level[q.Var()] > 0 {
 					s.seen[q.Var()] = 1
 				}
 			}

@@ -8,37 +8,62 @@ import (
 
 // checkInvariants verifies structural solver invariants at decision
 // level 0: every stored clause is watched on exactly its first two
-// literals, watch lists reference live clauses, and the trail is
-// consistent with the assignment.
+// literals, watch lists reference live clauses, the trail is consistent
+// with the assignment, and the arena's garbage accounting is sound.
 func (s *Solver) checkInvariants() error {
 	if s.decisionLevel() != 0 {
 		return fmt.Errorf("invariants checked above level 0")
 	}
-	all := map[*clause]bool{}
-	for _, c := range s.clauses {
-		all[c] = true
+	all := map[ClauseRef]bool{}
+	liveWords := 0
+	for _, list := range [2][]ClauseRef{s.clauses, s.learnts} {
+		for _, ref := range list {
+			if all[ref] {
+				return fmt.Errorf("clause ref %d stored twice", ref)
+			}
+			all[ref] = true
+			liveWords += s.ca.words(ref)
+		}
 	}
-	for _, c := range s.learnts {
-		all[c] = true
-	}
-	watched := map[*clause]int{}
+	watched := map[ClauseRef]int{}
 	for l := range s.watches {
 		for _, w := range s.watches[l] {
-			if !all[w.c] {
+			if !all[w.ref] {
 				return fmt.Errorf("watch list references removed clause")
 			}
-			watched[w.c]++
-			if w.c.lits[0] != Lit(l) && w.c.lits[1] != Lit(l) {
+			watched[w.ref]++
+			lits := s.ca.lits(w.ref)
+			if Lit(lits[0]) != Lit(l) && Lit(lits[1]) != Lit(l) {
 				return fmt.Errorf("clause watched on a non-watch literal")
 			}
 		}
 	}
-	for c := range all {
-		if len(c.lits) < 2 {
-			return fmt.Errorf("stored clause with %d literals", len(c.lits))
+	for ref := range all {
+		if s.ca.size(ref) < 2 {
+			return fmt.Errorf("stored clause with %d literals", s.ca.size(ref))
 		}
-		if watched[c] != 2 {
-			return fmt.Errorf("clause watched %d times, want 2", watched[c])
+		if watched[ref] != 2 {
+			return fmt.Errorf("clause watched %d times, want 2", watched[ref])
+		}
+	}
+	// Arena accounting: live words plus recorded garbage must exactly
+	// tile the arena.
+	if liveWords+s.ca.wasted != len(s.ca.data) {
+		return fmt.Errorf("arena accounting: %d live + %d wasted != %d total",
+			liveWords, s.ca.wasted, len(s.ca.data))
+	}
+	for v, r := range s.reason {
+		if r == RefUndef {
+			continue
+		}
+		if s.assigns[v] == lUndef {
+			continue // stale reason of an unassigned var is never read
+		}
+		if !all[r] {
+			return fmt.Errorf("var %d reason references removed clause", v)
+		}
+		if Lit(s.ca.lits(r)[0]).Var() != Var(v) {
+			return fmt.Errorf("var %d reason clause does not propagate it", v)
 		}
 	}
 	for i, l := range s.trail {
@@ -80,14 +105,40 @@ func TestInvariantsAfterBudgetedSolve(t *testing.T) {
 }
 
 func TestInvariantsAfterReduceDB(t *testing.T) {
-	// Force learnt-clause deletion by solving something conflict-heavy,
-	// then check structure. PHP(9,8) generates thousands of conflicts.
-	s := New(Options{})
+	// Force learnt-clause deletion by solving something conflict-heavy
+	// under a small learnt-database cap, then check structure. PHP(9,8)
+	// generates thousands of conflicts, so the cap makes reduceDB delete
+	// clauses and (once a fifth of the arena is garbage) compact the
+	// arena.
+	s := New(Options{LearntLimit: 300})
 	s.Load(php(9, 8))
 	if st := s.Solve(); st != Unsat {
 		t.Fatalf("got %v", st)
 	}
+	if s.Stats.Removed == 0 {
+		t.Fatalf("reduceDB never deleted a clause; invariant test is vacuous")
+	}
 	if err := s.checkInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestInvariantsAfterReset(t *testing.T) {
+	// A reused solver must be structurally indistinguishable from a
+	// fresh one, across problems of different shapes and answers.
+	rng := rand.New(rand.NewSource(909))
+	s := New(Options{})
+	for trial := 0; trial < 40; trial++ {
+		s.Reset(Options{})
+		cnf := randomCNF(rng, 10+rng.Intn(30), 60+rng.Intn(120), 3)
+		if s.Load(cnf) {
+			s.Solve()
+		}
+		if err := s.checkInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	if s.Resets() != 40 {
+		t.Fatalf("Resets() = %d, want 40", s.Resets())
 	}
 }

@@ -1,0 +1,84 @@
+package sat
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a concurrency-safe pool of reusable Solvers built on
+// sync.Pool. Repeated solver launches — width-search probes, portfolio
+// lanes, batch experiment runs — draw a reset solver whose clause
+// arena, watch lists and trail keep the capacity of earlier problems,
+// instead of re-growing a fresh Solver from zero each time.
+//
+// The zero value is ready to use. Get hands out a solver configured
+// for the given options; Put returns it once no solve is running and
+// no other goroutine can still call Stop on it (join any cancellation
+// watcher first — see SolveAssumingContext for the pattern).
+type Pool struct {
+	p sync.Pool
+
+	gets        atomic.Int64
+	reuses      atomic.Int64
+	collections atomic.Int64
+	freedWords  atomic.Int64
+	arenaWords  atomic.Int64
+	arenaCap    atomic.Int64
+}
+
+// Get returns a solver reset and configured with opts. The solver is
+// either a reused instance (retaining allocated capacity) or freshly
+// created.
+func (p *Pool) Get(opts Options) *Solver {
+	p.gets.Add(1)
+	if s, ok := p.p.Get().(*Solver); ok && s != nil {
+		p.reuses.Add(1)
+		s.Reset(opts)
+		return s
+	}
+	return New(opts)
+}
+
+// Put returns a solver to the pool for reuse and folds its arena
+// statistics into the pool's counters. The caller must not use the
+// solver afterwards, and no goroutine may still hold a Stop reference
+// to it.
+func (p *Pool) Put(s *Solver) {
+	if s == nil {
+		return
+	}
+	st := s.ArenaStats()
+	p.collections.Add(st.Collections)
+	p.freedWords.Add(st.FreedWords)
+	p.arenaWords.Store(int64(st.Words))
+	p.arenaCap.Store(int64(st.CapWords))
+	p.p.Put(s)
+}
+
+// PoolStats is a point-in-time view of pool activity, the raw material
+// of the sat.reset.* observability gauges.
+type PoolStats struct {
+	// Gets counts solvers handed out; Reuses counts how many of those
+	// were recycled instances (Gets-Reuses solvers were built fresh).
+	Gets, Reuses int64
+	// Collections and FreedWords accumulate the arena compactions and
+	// reclaimed words of every solver returned via Put.
+	Collections, FreedWords int64
+	// ArenaWords and ArenaCapWords are the arena length and capacity of
+	// the most recently returned solver — a sample of how much clause
+	// storage a pooled solver retains for its next use.
+	ArenaWords, ArenaCapWords int64
+}
+
+// Stats returns a snapshot of the pool counters. It is safe to call
+// concurrently with Get/Put.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Gets:          p.gets.Load(),
+		Reuses:        p.reuses.Load(),
+		Collections:   p.collections.Load(),
+		FreedWords:    p.freedWords.Load(),
+		ArenaWords:    p.arenaWords.Load(),
+		ArenaCapWords: p.arenaCap.Load(),
+	}
+}

@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -70,7 +71,7 @@ func TestSimplifyPreservesSatisfiability(t *testing.T) {
 		case Sat:
 			got = Sat
 		default:
-			got = SolveCNF(s.CNF, Options{}, nil).Status
+			got = SolveCNFContext(context.Background(), s.CNF, Options{}).Status
 		}
 		if got != want {
 			t.Fatalf("trial %d: simplified=%v, direct=%v", trial, got, want)
@@ -78,7 +79,7 @@ func TestSimplifyPreservesSatisfiability(t *testing.T) {
 		if want == Sat {
 			var model []bool
 			if s.Status != Sat {
-				res := SolveCNF(s.CNF, Options{}, nil)
+				res := SolveCNFContext(context.Background(), s.CNF, Options{})
 				model = res.Model
 			}
 			full, err := s.Extend(model)

@@ -7,20 +7,12 @@ import (
 	"sync/atomic"
 )
 
-// clause is a disjunction of literals. Learnt clauses carry an
-// activity score and a literal-block-distance (LBD) used by the
-// database reduction policy.
-type clause struct {
-	lits   []Lit
-	act    float64
-	lbd    int32
-	learnt bool
-}
-
 // watch pairs a watched clause with a blocker literal: if the blocker
 // is already true the clause is satisfied and need not be inspected.
+// With arena references instead of clause pointers an entry is 8 bytes,
+// halving watch-list bandwidth during propagation.
 type watch struct {
-	c       *clause
+	ref     ClauseRef
 	blocker Lit
 }
 
@@ -115,20 +107,25 @@ func Profiles() []Profile {
 // Solver is a CDCL SAT solver: two-literal watching, first-UIP conflict
 // analysis with basic clause minimization, VSIDS branching with phase
 // saving, Luby restarts and activity/LBD-driven learnt-clause deletion.
+// Clauses live in a flat arena (see arena.go) addressed by ClauseRef
+// offsets; Reset rewinds the solver for a fresh problem while keeping
+// the arena, watch-list and trail capacity, so one Solver can serve
+// many solves without re-paying its allocations.
 //
 // A Solver is not safe for concurrent use, with one exception: Stop may
 // be called from another goroutine to cancel a running Solve.
 type Solver struct {
 	opts Options
 
-	clauses []*clause
-	learnts []*clause
+	ca      clauseArena
+	clauses []ClauseRef
+	learnts []ClauseRef
 	watches [][]watch // indexed by Lit; watches[l] lists clauses watching l
 
 	assigns  []int8 // indexed by Var
 	polarity []bool // saved phase, indexed by Var
 	level    []int32
-	reason   []*clause
+	reason   []ClauseRef // RefUndef = decision or unassigned
 	trail    []Lit
 	trailLim []int
 	qhead    int
@@ -144,6 +141,15 @@ type Solver struct {
 	minStack []Lit // scratch: all literals marked seen during analyze
 	lbdStamp []int64
 	lbdGen   int64
+
+	// Per-solver scratch buffers so the hot add/learn/delete paths do
+	// not allocate: addBuf backs AddClause's sort/dedupe, litBuf backs
+	// AddDimacsClause's DIMACS conversion, learntBuf backs the learnt
+	// clause built by analyze, proofBuf backs DRAT deletion lines.
+	addBuf    []Lit
+	litBuf    []Lit
+	learntBuf []Lit
+	proofBuf  []Lit
 
 	ok      bool // false once an empty clause is derived at level 0
 	stopped atomic.Bool
@@ -164,8 +170,9 @@ type Solver struct {
 	pollDecisions    int64
 	pollPropagations int64
 
-	model []bool
-	Stats Stats
+	model  []bool
+	resets int64
+	Stats  Stats
 }
 
 // Default VSIDS and clause-activity decay factors (MiniSat values).
@@ -188,17 +195,67 @@ const (
 
 // New creates a solver with the given options.
 func New(opts Options) *Solver {
-	s := &Solver{
-		opts:   opts,
-		varInc: 1,
-		claInc: 1,
-		ok:     true,
-	}
+	s := &Solver{}
 	s.order = newVarHeap(&s.activity)
+	s.reset(opts)
+	return s
+}
+
+// Reset rewinds the solver to the just-constructed state under new
+// options while retaining the capacity of the clause arena, watch
+// lists, trail and per-variable tables, so the next problem loads
+// without re-paying their allocations. Any proof logger is replaced
+// according to opts.ProofWriter; statistics start from zero. Reset
+// must not be called while a solve is running.
+func (s *Solver) Reset(opts Options) {
+	s.reset(opts)
+	s.resets++
+}
+
+// Resets returns how many times the solver has been Reset — how many
+// problems beyond the first this instance has been reused for.
+func (s *Solver) Resets() int64 { return s.resets }
+
+func (s *Solver) reset(opts Options) {
+	s.opts = opts
+	s.ca.reset()
+	s.clauses = s.clauses[:0]
+	s.learnts = s.learnts[:0]
+	// Truncate each inner watch list before the outer slice so NewVar
+	// can re-expose them (with their capacity) by reslicing.
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	s.watches = s.watches[:0]
+	s.assigns = s.assigns[:0]
+	s.polarity = s.polarity[:0]
+	s.level = s.level[:0]
+	s.reason = s.reason[:0]
+	s.trail = s.trail[:0]
+	s.trailLim = s.trailLim[:0]
+	s.qhead = 0
+	s.activity = s.activity[:0]
+	s.order.reset()
+	s.varInc = 1
+	s.claInc = 1
+	s.maxLearnts = 0
+	s.seen = s.seen[:0]
+	s.minStack = s.minStack[:0]
+	// lbdStamp/lbdGen survive: stamps are generation-checked, and the
+	// generation counter only ever grows, so stale stamps never match.
+	s.ok = true
+	s.stopped.Store(false)
+	s.proof = nil
 	if opts.ProofWriter != nil {
 		s.proof = newProofLogger(opts.ProofWriter)
 	}
-	return s
+	s.assumptions = s.assumptions[:0]
+	s.conflictCore = nil
+	s.conflictBase = 0
+	s.pollDecisions = 0
+	s.pollPropagations = 0
+	s.model = nil
+	s.Stats = Stats{}
 }
 
 // NewVar introduces a fresh variable and returns it.
@@ -207,10 +264,18 @@ func (s *Solver) NewVar() Var {
 	s.assigns = append(s.assigns, lUndef)
 	s.polarity = append(s.polarity, s.opts.InitialPhase)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, RefUndef)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
-	s.watches = append(s.watches, nil, nil)
+	// Re-expose retained inner watch lists by reslicing when a Reset
+	// left capacity behind; appending nil would orphan them.
+	if n := len(s.watches); cap(s.watches) >= n+2 {
+		s.watches = s.watches[:n+2]
+		s.watches[n] = s.watches[n][:0]
+		s.watches[n+1] = s.watches[n+1][:0]
+	} else {
+		s.watches = append(s.watches, nil, nil)
+	}
 	s.order.insert(v)
 	return v
 }
@@ -241,14 +306,16 @@ func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 // (every solve returns with the trail unwound to decision level 0, so
 // the new clause is simplified against the level-0 trail and its watch
 // literals attach exactly as during initial construction); it must not
-// be called while a solve is running.
+// be called while a solve is running. The literal slice is not
+// retained; callers may reuse it.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
-	// Sort and strip duplicates/tautologies and level-0 false literals.
-	ls := make([]Lit, len(lits))
-	copy(ls, lits)
+	// Sort and strip duplicates/tautologies and level-0 false literals,
+	// in a scratch buffer reused across calls.
+	ls := append(s.addBuf[:0], lits...)
+	s.addBuf = ls
 	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
 	out := ls[:0]
 	var prev Lit = LitUndef
@@ -268,35 +335,39 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		s.ok = s.propagate() == nil
+		s.uncheckedEnqueue(out[0], RefUndef)
+		s.ok = s.propagate() == RefUndef
 		return s.ok
 	}
-	c := &clause{lits: out}
-	s.clauses = append(s.clauses, c)
-	s.attach(c)
+	ref := s.ca.alloc(out, false, 0)
+	s.clauses = append(s.clauses, ref)
+	s.attach(ref)
 	return true
 }
 
 // AddDimacsClause adds a clause given as DIMACS integers.
 func (s *Solver) AddDimacsClause(dimacs ...int) bool {
-	lits := make([]Lit, len(dimacs))
-	for i, d := range dimacs {
-		lits[i] = LitFromDimacs(d)
+	lits := s.litBuf[:0]
+	for _, d := range dimacs {
+		lits = append(lits, LitFromDimacs(d))
 	}
+	s.litBuf = lits
 	return s.AddClause(lits...)
 }
 
-func (s *Solver) attach(c *clause) {
-	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], watch{c, c.lits[1]})
-	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], watch{c, c.lits[0]})
+func (s *Solver) attach(ref ClauseRef) {
+	lits := s.ca.lits(ref)
+	l0, l1 := Lit(lits[0]), Lit(lits[1])
+	s.watches[l0] = append(s.watches[l0], watch{ref, l1})
+	s.watches[l1] = append(s.watches[l1], watch{ref, l0})
 }
 
-func (s *Solver) detach(c *clause) {
-	for _, l := range []Lit{c.lits[0], c.lits[1]} {
+func (s *Solver) detach(ref ClauseRef) {
+	lits := s.ca.lits(ref)
+	for _, l := range [2]Lit{Lit(lits[0]), Lit(lits[1])} {
 		ws := s.watches[l]
 		for i := range ws {
-			if ws[i].c == c {
+			if ws[i].ref == ref {
 				ws[i] = ws[len(ws)-1]
 				s.watches[l] = ws[:len(ws)-1]
 				break
@@ -305,7 +376,7 @@ func (s *Solver) detach(c *clause) {
 	}
 }
 
-func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+func (s *Solver) uncheckedEnqueue(l Lit, from ClauseRef) {
 	v := l.Var()
 	if l.Sign() {
 		s.assigns[v] = lFalse
@@ -321,9 +392,9 @@ func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 }
 
 // propagate performs unit propagation over the watch lists and returns
-// the first conflicting clause, or nil if a fixpoint was reached.
-func (s *Solver) propagate() *clause {
-	var confl *clause
+// the first conflicting clause, or RefUndef if a fixpoint was reached.
+func (s *Solver) propagate() ClauseRef {
+	confl := RefUndef
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -339,30 +410,31 @@ func (s *Solver) propagate() *clause {
 				j++
 				continue
 			}
-			c := w.c
+			lits := s.ca.lits(w.ref)
 			// Ensure the falsified literal is at position 1.
-			if c.lits[0] == falseLit {
-				c.lits[0], c.lits[1] = c.lits[1], falseLit
+			if Lit(lits[0]) == falseLit {
+				lits[0], lits[1] = lits[1], uint32(falseLit)
 			}
-			first := c.lits[0]
+			first := Lit(lits[0])
 			if first != w.blocker && s.value(first) == lTrue {
-				ws[j] = watch{c, first}
+				ws[j] = watch{w.ref, first}
 				j++
 				continue
 			}
 			// Look for a new literal to watch.
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], watch{c, first})
+			for k := 2; k < len(lits); k++ {
+				if s.value(Lit(lits[k])) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					wl := Lit(lits[1])
+					s.watches[wl] = append(s.watches[wl], watch{w.ref, first})
 					continue nextWatch
 				}
 			}
 			// Clause is unit or conflicting.
-			ws[j] = watch{c, first}
+			ws[j] = watch{w.ref, first}
 			j++
 			if s.value(first) == lFalse {
-				confl = c
+				confl = w.ref
 				s.qhead = len(s.trail)
 				// Copy the remaining watches back before bailing out.
 				for i++; i < len(ws); i++ {
@@ -371,32 +443,34 @@ func (s *Solver) propagate() *clause {
 				}
 				break
 			}
-			s.uncheckedEnqueue(first, c)
+			s.uncheckedEnqueue(first, w.ref)
 		}
 		s.watches[falseLit] = ws[:j]
-		if confl != nil {
+		if confl != RefUndef {
 			return confl
 		}
 	}
-	return nil
+	return RefUndef
 }
 
 // analyze derives a first-UIP learnt clause from the conflict confl.
 // It returns the learnt literals (asserting literal first) and the
-// backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int) {
-	learnt := []Lit{LitUndef} // slot 0 reserved for the asserting literal
+// backtrack level. The returned slice is scratch owned by the solver,
+// valid until the next analyze call.
+func (s *Solver) analyze(confl ClauseRef) ([]Lit, int) {
+	learnt := append(s.learntBuf[:0], LitUndef) // slot 0 reserved for the asserting literal
 	pathC := 0
 	p := LitUndef
 	index := len(s.trail) - 1
 
 	for {
 		s.claBumpActivity(confl)
-		start := 0
+		lits := s.ca.lits(confl)
 		if p != LitUndef {
-			start = 1 // lits[0] of a reason clause is the propagated literal
+			lits = lits[1:] // lits[0] of a reason clause is the propagated literal
 		}
-		for _, q := range confl.lits[start:] {
+		for _, qw := range lits {
+			q := Lit(qw)
 			v := q.Var()
 			if s.seen[v] == 0 && s.level[v] > 0 {
 				s.varBumpActivity(v)
@@ -453,6 +527,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	for _, l := range s.minStack {
 		s.seen[l.Var()] = 0
 	}
+	s.learntBuf = learnt[:0]
 	return learnt, btLevel
 }
 
@@ -462,11 +537,11 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 // minimization of MiniSat.
 func (s *Solver) litRedundant(l Lit) bool {
 	r := s.reason[l.Var()]
-	if r == nil {
+	if r == RefUndef {
 		return false
 	}
-	for _, q := range r.lits[1:] {
-		v := q.Var()
+	for _, qw := range s.ca.lits(r)[1:] {
+		v := Lit(qw).Var()
 		if s.seen[v] == 0 && s.level[v] > 0 {
 			return false
 		}
@@ -486,7 +561,7 @@ func (s *Solver) cancelUntil(lvl int) {
 			s.polarity[v] = s.assigns[v] == lTrue
 		}
 		s.assigns[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = RefUndef
 		s.order.insert(v)
 	}
 	s.trail = s.trail[:bound]
@@ -513,14 +588,15 @@ func (s *Solver) varDecayActivity() {
 	s.varInc /= decay
 }
 
-func (s *Solver) claBumpActivity(c *clause) {
-	if !c.learnt {
+func (s *Solver) claBumpActivity(ref ClauseRef) {
+	if !s.ca.learnt(ref) {
 		return
 	}
-	c.act += s.claInc
-	if c.act > 1e20 {
-		for _, lc := range s.learnts {
-			lc.act *= 1e-20
+	a := s.ca.act(ref) + float32(s.claInc)
+	s.ca.setAct(ref, a)
+	if a > 1e20 {
+		for _, lr := range s.learnts {
+			s.ca.setAct(lr, s.ca.act(lr)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -561,39 +637,58 @@ func (s *Solver) computeLBD(lits []Lit) int32 {
 	return n
 }
 
+// clauseLits copies clause ref's literals into the solver's proof
+// scratch buffer (for DRAT deletion lines, which need []Lit).
+func (s *Solver) clauseLits(ref ClauseRef) []Lit {
+	buf := s.proofBuf[:0]
+	for _, w := range s.ca.lits(ref) {
+		buf = append(buf, Lit(w))
+	}
+	s.proofBuf = buf
+	return buf
+}
+
 // reduceDB removes roughly half of the learnt clauses, preferring high
 // LBD and low activity, and never touching reason ("locked") clauses
-// or binary clauses.
+// or binary clauses. Deleted clauses become arena garbage; once a
+// fifth of the arena is garbage it is compacted in place.
 func (s *Solver) reduceDB() {
+	ca := &s.ca
 	sort.Slice(s.learnts, func(i, j int) bool {
 		a, b := s.learnts[i], s.learnts[j]
-		if (a.lbd > 2) != (b.lbd > 2) {
-			return b.lbd > 2 // glue clauses last (kept)
+		albd, blbd := ca.lbd(a), ca.lbd(b)
+		if (albd > 2) != (blbd > 2) {
+			return blbd > 2 // glue clauses last (kept)
 		}
-		return a.act < b.act
+		return ca.act(a) < ca.act(b)
 	})
 	extLim := s.claInc / float64(len(s.learnts)+1)
 	j := 0
 	limit := len(s.learnts) / 2
-	for i, c := range s.learnts {
-		removable := len(c.lits) > 2 && !s.locked(c) &&
-			(i < limit || c.act < extLim) && c.lbd > 2
+	for i, ref := range s.learnts {
+		removable := ca.size(ref) > 2 && !s.locked(ref) &&
+			(i < limit || float64(ca.act(ref)) < extLim) && ca.lbd(ref) > 2
 		if removable {
-			s.detach(c)
+			s.detach(ref)
 			if s.proof != nil {
-				s.proof.deleteClause(c.lits)
+				s.proof.deleteClause(s.clauseLits(ref))
 			}
+			ca.free(ref)
 			s.Stats.Removed++
 		} else {
-			s.learnts[j] = c
+			s.learnts[j] = ref
 			j++
 		}
 	}
 	s.learnts = s.learnts[:j]
+	if ca.needsCompaction() {
+		s.garbageCollect()
+	}
 }
 
-func (s *Solver) locked(c *clause) bool {
-	return s.reason[c.lits[0].Var()] == c && s.value(c.lits[0]) == lTrue
+func (s *Solver) locked(ref ClauseRef) bool {
+	first := Lit(s.ca.lits(ref)[0])
+	return s.reason[first.Var()] == ref && s.value(first) == lTrue
 }
 
 // Stop cancels a running Solve from another goroutine; the solve
@@ -637,7 +732,7 @@ func (s *Solver) search(nofConflicts int64) Status {
 			return Unknown
 		}
 		confl := s.propagate()
-		if confl != nil {
+		if confl != RefUndef {
 			s.Stats.Conflicts++
 			conflictC++
 			if s.decisionLevel() == 0 {
@@ -652,13 +747,13 @@ func (s *Solver) search(nofConflicts int64) Status {
 				s.proof.addClause(learnt)
 			}
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
+				s.uncheckedEnqueue(learnt[0], RefUndef)
 			} else {
-				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
-				s.learnts = append(s.learnts, c)
-				s.attach(c)
-				s.claBumpActivity(c)
-				s.uncheckedEnqueue(learnt[0], c)
+				ref := s.ca.alloc(learnt, true, s.computeLBD(learnt))
+				s.learnts = append(s.learnts, ref)
+				s.attach(ref)
+				s.claBumpActivity(ref)
+				s.uncheckedEnqueue(learnt[0], ref)
 				s.Stats.Learnt++
 			}
 			s.varDecayActivity()
@@ -706,7 +801,7 @@ func (s *Solver) search(nofConflicts int64) Status {
 			}
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, RefUndef)
 	}
 }
 

@@ -108,7 +108,7 @@ func php(pigeons, holes int) *CNF {
 
 func TestPigeonholeUnsat(t *testing.T) {
 	for holes := 2; holes <= 6; holes++ {
-		res := SolveCNF(php(holes+1, holes), Options{}, nil)
+		res := SolveCNFContext(context.Background(), php(holes+1, holes), Options{})
 		if res.Status != Unsat {
 			t.Fatalf("PHP(%d,%d): got %v, want Unsat", holes+1, holes, res.Status)
 		}
@@ -118,7 +118,7 @@ func TestPigeonholeUnsat(t *testing.T) {
 func TestPigeonholeSat(t *testing.T) {
 	for holes := 2; holes <= 8; holes++ {
 		cnf := php(holes, holes)
-		res := SolveCNF(cnf, Options{}, nil)
+		res := SolveCNFContext(context.Background(), cnf, Options{})
 		if res.Status != Sat {
 			t.Fatalf("PHP(%d,%d): got %v, want Sat", holes, holes, res.Status)
 		}
@@ -161,7 +161,7 @@ func TestRandomAgainstBruteForce(t *testing.T) {
 		clauses := int(float64(vars) * ratio)
 		cnf := randomCNF(rng, vars, clauses, 3)
 		want, _ := BruteForce(cnf)
-		res := SolveCNF(cnf, Options{}, nil)
+		res := SolveCNFContext(context.Background(), cnf, Options{})
 		if res.Status != want {
 			t.Fatalf("trial %d (vars=%d clauses=%d): CDCL=%v brute=%v",
 				trial, vars, clauses, res.Status, want)
@@ -178,7 +178,7 @@ func TestRandomAgainstBruteForceNoMinimize(t *testing.T) {
 		vars := 4 + rng.Intn(8)
 		cnf := randomCNF(rng, vars, vars*4, 3)
 		want, _ := BruteForce(cnf)
-		res := SolveCNF(cnf, Options{DisableMinimize: true}, nil)
+		res := SolveCNFContext(context.Background(), cnf, Options{DisableMinimize: true})
 		if res.Status != want {
 			t.Fatalf("trial %d: CDCL(nomin)=%v brute=%v", trial, res.Status, want)
 		}
@@ -186,12 +186,15 @@ func TestRandomAgainstBruteForceNoMinimize(t *testing.T) {
 }
 
 func TestConflictBudgetReturnsUnknown(t *testing.T) {
-	res := SolveCNF(php(9, 8), Options{ConflictBudget: 5}, nil)
+	res := SolveCNFContext(context.Background(), php(9, 8), Options{ConflictBudget: 5})
 	if res.Status != Unknown {
 		t.Fatalf("got %v, want Unknown under tiny budget", res.Status)
 	}
 }
 
+// TestStopCancelsSolve is the regression test for the deprecated
+// stop-channel wrapper; everything else in the repo uses the
+// context-based API.
 func TestStopCancelsSolve(t *testing.T) {
 	cnf := php(11, 10) // hard enough to run for a while
 	stop := make(chan struct{})
@@ -259,7 +262,7 @@ func TestGraphColoringTriangle(t *testing.T) {
 			cnf.AddClause(-v(e[0], c), -v(e[1], c))
 		}
 	}
-	if res := SolveCNF(cnf, Options{}, nil); res.Status != Unsat {
+	if res := SolveCNFContext(context.Background(), cnf, Options{}); res.Status != Unsat {
 		t.Fatalf("triangle 2-coloring: got %v, want Unsat", res.Status)
 	}
 }
@@ -281,7 +284,7 @@ func TestLargerRandomSat(t *testing.T) {
 	// the solver handles a few thousand variables and that models check.
 	rng := rand.New(rand.NewSource(7))
 	cnf := randomCNF(rng, 2000, 4000, 3)
-	res := SolveCNF(cnf, Options{}, nil)
+	res := SolveCNFContext(context.Background(), cnf, Options{})
 	if res.Status != Sat {
 		t.Fatalf("got %v, want Sat", res.Status)
 	}
@@ -327,7 +330,7 @@ func TestProfilesAgreeOnRandomInstances(t *testing.T) {
 		cnf := randomCNF(rng, vars, vars*4, 3)
 		want, _ := BruteForce(cnf)
 		for _, p := range profiles {
-			res := SolveCNF(cnf, p.Opts, nil)
+			res := SolveCNFContext(context.Background(), cnf, p.Opts)
 			if res.Status != want {
 				t.Fatalf("trial %d profile %s: got %v, want %v", trial, p.Name, res.Status, want)
 			}
@@ -337,10 +340,10 @@ func TestProfilesAgreeOnRandomInstances(t *testing.T) {
 
 func TestGeometricRestartsSolve(t *testing.T) {
 	opts := Options{GeometricRestarts: true, RestartBase: 10}
-	if res := SolveCNF(php(8, 7), opts, nil); res.Status != Unsat {
+	if res := SolveCNFContext(context.Background(), php(8, 7), opts); res.Status != Unsat {
 		t.Fatalf("got %v", res.Status)
 	}
-	if res := SolveCNF(php(7, 7), opts, nil); res.Status != Sat {
+	if res := SolveCNFContext(context.Background(), php(7, 7), opts); res.Status != Sat {
 		t.Fatalf("got %v", res.Status)
 	}
 }
@@ -350,7 +353,7 @@ func TestDisablePhaseSaving(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		cnf := randomCNF(rng, 10, 40, 3)
 		want, _ := BruteForce(cnf)
-		res := SolveCNF(cnf, Options{DisablePhaseSaving: true, InitialPhase: true}, nil)
+		res := SolveCNFContext(context.Background(), cnf, Options{DisablePhaseSaving: true, InitialPhase: true})
 		if res.Status != want {
 			t.Fatalf("trial %d: got %v, want %v", trial, res.Status, want)
 		}
@@ -482,7 +485,7 @@ func TestSolveCNFContextBackground(t *testing.T) {
 
 func TestCustomVarDecay(t *testing.T) {
 	for _, decay := range []float64{0.8, 0.999} {
-		res := SolveCNF(php(7, 6), Options{VarDecay: decay}, nil)
+		res := SolveCNFContext(context.Background(), php(7, 6), Options{VarDecay: decay})
 		if res.Status != Unsat {
 			t.Fatalf("decay %v: got %v", decay, res.Status)
 		}

@@ -41,6 +41,12 @@ const (
 	// MetricAssumpCoreSize gauges the failed-assumption core size of
 	// the most recent Unsat probe (0 = genuine database unsat).
 	MetricAssumpCoreSize = "sat.assumptions.core_size"
+	// MetricArenaWords, MetricArenaCap and MetricArenaCollections gauge
+	// the solver's clause-arena footprint at the end of the search:
+	// live+garbage words, backing capacity, and arena compactions.
+	MetricArenaWords       = "sat.arena.words"
+	MetricArenaCap         = "sat.arena.cap_words"
+	MetricArenaCollections = "sat.arena.collections"
 )
 
 // Options configures a MinWidth search.
@@ -59,6 +65,12 @@ type Options struct {
 	Binary bool
 	// Solver configures the underlying incremental solver.
 	Solver sat.Options
+	// Pool, when non-nil, supplies the search's solver and receives it
+	// back when the search ends, so repeated searches (portfolio
+	// members, batch experiments, service requests) reuse clause-arena
+	// and watch-list capacity instead of growing a fresh solver each
+	// time.
+	Pool *sat.Pool
 	// ProbeTimeout bounds each width probe; 0 means no per-probe bound.
 	// A probe that times out ends the search with the best width found
 	// so far and ProvedOptimal=false.
@@ -124,7 +136,13 @@ func MinWidth(ctx context.Context, g *graph.Graph, opts Options) (*Result, error
 	}
 	reg := opts.Metrics
 
-	solver := sat.New(opts.Solver)
+	var solver *sat.Solver
+	if opts.Pool != nil {
+		solver = opts.Pool.Get(opts.Solver)
+		defer opts.Pool.Put(solver)
+	} else {
+		solver = sat.New(opts.Solver)
+	}
 	span := reg.StartSpan(MetricEncode + suffix)
 	csp := core.BuildCSP(g, opts.Hi, opts.Strategy.Symmetry)
 	inc := core.EncodeIncremental(csp, opts.Strategy.Encoding, lo, sat.SolverSink{S: solver})
@@ -187,6 +205,12 @@ func MinWidth(ctx context.Context, g *graph.Graph, opts Options) (*Result, error
 		err = descendingSearch(probe, lo, opts.Hi, res)
 	}
 	res.Stats = solver.Stats
+	if reg != nil {
+		ast := solver.ArenaStats()
+		reg.Gauge(MetricArenaWords + suffix).Set(int64(ast.Words))
+		reg.Gauge(MetricArenaCap + suffix).Set(int64(ast.CapWords))
+		reg.Gauge(MetricArenaCollections + suffix).Set(ast.Collections)
+	}
 	if err != nil {
 		return res, err
 	}

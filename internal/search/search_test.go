@@ -72,7 +72,7 @@ func canColor(g *graph.Graph, k int) bool {
 func singleShot(t *testing.T, g *graph.Graph, w int, s core.Strategy) (sat.Status, []int) {
 	t.Helper()
 	enc := core.Encode(core.BuildCSP(g, w, s.Symmetry), s.Encoding)
-	res := sat.SolveCNF(enc.CNF, sat.Options{}, nil)
+	res := sat.SolveCNFContext(context.Background(), enc.CNF, sat.Options{})
 	if res.Status != sat.Sat {
 		return res.Status, nil
 	}
