@@ -144,8 +144,8 @@ func BenchmarkPortfolio(b *testing.B) {
 		}
 	})
 	for name, members := range map[string][]core.Strategy{
-		"portfolio2": portfolio.PaperPortfolio2(),
-		"portfolio3": portfolio.PaperPortfolio3(),
+		"portfolio2": portfolio.Must(portfolio.PaperPortfolio2()),
+		"portfolio3": portfolio.Must(portfolio.PaperPortfolio3()),
 	} {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -43,6 +43,10 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-solve progress to stderr")
 		trace      = flag.Bool("trace", false, "print the collected metrics report after the run")
 		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file")
+		instances  = flag.String("instances", "", "load benchmark instances from a registry file instead of the built-in table")
+		verify     = flag.Bool("verify", false, "paranoid mode: re-verify Sat answers and replay Unsat answers in portfolio runs")
+		laneTO     = flag.Duration("lane-timeout", 0, "per-lane watchdog timeout for portfolio runs (0 = none)")
+		maxRetries = flag.Int("max-retries", 0, "budgeted-retry attempts per portfolio lane (0 = no retry)")
 	)
 	flag.Parse()
 	if *all {
@@ -59,6 +63,12 @@ func main() {
 		progress = os.Stderr
 	}
 	reg := obs.NewRegistry()
+	// Pre-register the robustness counters so -trace / -metrics-out
+	// snapshots report zeros instead of omitting them entirely (the
+	// registry creates metrics lazily on first touch).
+	for _, name := range fpgasat.RobustnessMetricNames() {
+		reg.Counter(name)
+	}
 	// One session for the whole run: every timed solve draws a pooled
 	// arena-backed solver, and the sat.reset.* / sat.arena.* gauges end
 	// up in the -trace / -metrics-out dump.
@@ -84,7 +94,18 @@ func main() {
 		}
 	}()
 	insts := mcnc.Table2Instances()
-	if *quick {
+	if *instances != "" {
+		f, err := os.Open(*instances)
+		if err != nil {
+			log.Fatal(err)
+		}
+		insts, err = mcnc.ParseInstances(*instances, f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *quick && len(insts) > 2 {
 		insts = insts[:2]
 	}
 
@@ -124,6 +145,7 @@ func main() {
 	if *portfolio {
 		r, err := experiments.RunPortfolio(experiments.PortfolioConfig{
 			Instances: insts, Timeout: *timeout, Progress: progress, Obs: reg, Pool: pool,
+			Verify: *verify, VerifyUnsat: *verify, LaneTimeout: *laneTO, MaxRetries: *maxRetries,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -65,6 +65,9 @@ func main() {
 		timeout      = flag.Duration("timeout", 5*time.Minute, "solve timeout (0 = none)")
 		trace        = flag.Bool("trace", false, "print the per-stage (and per-strategy) timing report")
 		metricsOut   = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file")
+		verify       = flag.Bool("verify", false, "paranoid mode: re-verify Sat answers against the conflict graph and replay Unsat answers through the DRAT checker (with -portfolio)")
+		laneTimeout  = flag.Duration("lane-timeout", 0, "per-lane attempt timeout and watchdog grace period for -portfolio (0 = none)")
+		maxRetries   = flag.Int("max-retries", 0, "re-run a budget-exhausted portfolio lane up to this many times with escalated budgets")
 	)
 	flag.Parse()
 
@@ -127,7 +130,12 @@ func main() {
 	}
 
 	if *usePortfolio {
-		runPortfolio(gr, g, *w, *timeout, *tracks)
+		runPortfolio(gr, g, *w, *timeout, *tracks, fpgasat.PortfolioOptions{
+			Verify:      *verify,
+			VerifyUnsat: *verify,
+			LaneTimeout: *laneTimeout,
+			MaxRetries:  *maxRetries,
+		})
 		return
 	}
 
@@ -222,16 +230,23 @@ func solverOptions() sat.Options {
 }
 
 // runPortfolio solves with the paper's 3-strategy portfolio, printing
-// the per-strategy telemetry table.
-func runPortfolio(gr *fpga.GlobalRouting, g *graph.Graph, w int, timeout time.Duration, tracks bool) {
+// the per-strategy telemetry table. The run goes through the hardened
+// supervision layer: lanes are panic-isolated, and opts enables
+// paranoid answer checking, watchdog timeouts and budgeted retries.
+func runPortfolio(gr *fpga.GlobalRouting, g *graph.Graph, w int, timeout time.Duration, tracks bool, opts fpgasat.PortfolioOptions) {
+	registerRobustnessMetrics()
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	members, err := fpgasat.PaperPortfolio3()
+	if err != nil {
+		log.Fatal(err)
+	}
 	span := reg.StartSpan("pipeline.solve")
-	winner, all, err := session.Portfolio(ctx, g, w, fpgasat.PaperPortfolio3())
+	winner, all, err := session.PortfolioHardened(ctx, g, w, members, opts)
 	span.End()
 	fmt.Println("portfolio strategies:")
 	for _, r := range all {
@@ -239,10 +254,17 @@ func runPortfolio(gr *fpga.GlobalRouting, g *graph.Graph, w int, timeout time.Du
 		if r.Winner {
 			mark = "*"
 		}
-		fmt.Printf("  %s %-28s %-8v encode %-10v solve %-10v %8d vars %8d clauses %8d conflicts\n",
+		note := ""
+		if r.Attempts > 1 {
+			note = fmt.Sprintf(" (%d attempts)", r.Attempts)
+		}
+		if r.Err != nil {
+			note += " err: " + r.Err.Error()
+		}
+		fmt.Printf("  %s %-28s %-8v encode %-10v solve %-10v %8d vars %8d clauses %8d conflicts%s\n",
 			mark, r.Strategy.Name(), r.Status,
 			r.EncodeTime.Round(time.Microsecond), r.SolveTime.Round(time.Millisecond),
-			r.Vars, r.Clauses, r.Stats.Conflicts)
+			r.Vars, r.Clauses, r.Stats.Conflicts, note)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -261,6 +283,15 @@ func runPortfolio(gr *fpga.GlobalRouting, g *graph.Graph, w int, timeout time.Du
 		}
 	case sat.Unsat:
 		fmt.Printf("UNROUTABLE with W=%d tracks — proven by portfolio winner %s\n", w, winner.Strategy.Name())
+	}
+}
+
+// registerRobustnessMetrics touches the robustness counters
+// (portfolio.panics, robust.retries, robust.verify.*) so they appear
+// in -trace / -metrics-out output even when they stay zero.
+func registerRobustnessMetrics() {
+	for _, name := range fpgasat.RobustnessMetricNames() {
+		reg.Counter(name)
 	}
 }
 

@@ -32,7 +32,7 @@ func main() {
 	fmt.Printf("instance %s at W=%d (unroutable): conflict graph %d vertices / %d edges\n",
 		inst.Name, w, conflict.N(), conflict.M())
 
-	members := portfolio.PaperPortfolio3()
+	members := portfolio.Must(portfolio.PaperPortfolio3())
 	fmt.Println("portfolio members:")
 	for _, m := range members {
 		fmt.Printf("  - %s\n", m.Name())

@@ -19,6 +19,7 @@ import (
 	"fpgasat/internal/mcnc"
 	"fpgasat/internal/obs"
 	"fpgasat/internal/portfolio"
+	"fpgasat/internal/robust"
 	"fpgasat/internal/sat"
 	"fpgasat/internal/search"
 	"fpgasat/internal/symmetry"
@@ -96,6 +97,24 @@ type (
 	Instance = mcnc.Instance
 	// PortfolioResult is one strategy's outcome within a portfolio run.
 	PortfolioResult = portfolio.Result
+	// PortfolioOptions configure a hardened portfolio run: paranoid
+	// answer verification, per-lane watchdog timeouts and budgeted
+	// retries (see RunPortfolioHardened).
+	PortfolioOptions = portfolio.Options
+
+	// PanicError is a panic captured at a supervision boundary
+	// (portfolio lane, width-search probe, Session solve), carrying the
+	// panic value and its stack; surfaced via PortfolioResult.Err and
+	// Session errors instead of crashing the process.
+	PanicError = robust.PanicError
+	// SoundnessError reports a definite answer that failed paranoid-
+	// mode verification, naming the guilty strategy.
+	SoundnessError = robust.SoundnessError
+	// InputError wraps a parse or validation failure of user-supplied
+	// input with its source file and line.
+	InputError = robust.InputError
+	// RetrySchedule selects how lane retries escalate conflict budgets.
+	RetrySchedule = robust.RetrySchedule
 
 	// Solver is the incremental CDCL solver: load or stream clauses,
 	// then Solve / SolveAssuming / SolveAssumingContext repeatedly;
@@ -132,6 +151,37 @@ const (
 	Unsat   = sat.Unsat
 	Unknown = sat.Unknown
 )
+
+// Retry schedules for hardened portfolio runs.
+const (
+	GeometricRetry = robust.GeometricRetry
+	LubyRetry      = robust.LubyRetry
+)
+
+// Robustness metric names recorded by hardened portfolio runs (lane
+// panics, budgeted retries, paranoid-mode verifications, watchdog
+// abandonments). Registries create metrics lazily, so tools that dump
+// snapshots should touch these counters up front to make zero values
+// visible.
+const (
+	MetricPortfolioPanics = portfolio.MetricPanics
+	MetricRetries         = portfolio.MetricRetries
+	MetricVerifySat       = portfolio.MetricVerifySat
+	MetricVerifyUnsat     = portfolio.MetricVerifyUnsat
+	MetricAbandoned       = portfolio.MetricAbandoned
+)
+
+// RobustnessMetricNames lists the robustness counters above, in a
+// stable order — convenience for pre-registering them in a registry.
+func RobustnessMetricNames() []string {
+	return []string{
+		MetricPortfolioPanics,
+		MetricRetries,
+		MetricVerifySat,
+		MetricVerifyUnsat,
+		MetricAbandoned,
+	}
+}
 
 // Simple encoding kinds.
 const (
@@ -292,8 +342,24 @@ func RunPortfolioObserved(ctx context.Context, g *Graph, k int, strategies []Str
 	return portfolio.RunObserved(ctx, g, k, strategies, m)
 }
 
+// RunPortfolioHardened is RunPortfolioObserved with the full
+// supervision layer: panic-isolated lanes, optional answer
+// self-checking ("paranoid mode"), per-lane watchdog timeouts and
+// budgeted retries, all configured through opts.
+func RunPortfolioHardened(ctx context.Context, g *Graph, k int, strategies []Strategy, opts PortfolioOptions) (PortfolioResult, []PortfolioResult, error) {
+	return portfolio.RunHardened(ctx, g, k, strategies, opts)
+}
+
 // PaperPortfolio3 returns the paper's three-strategy portfolio.
-func PaperPortfolio3() []Strategy { return portfolio.PaperPortfolio3() }
+func PaperPortfolio3() ([]Strategy, error) { return portfolio.PaperPortfolio3() }
+
+// PaperPortfolio2 returns the paper's two-strategy portfolio (the
+// first two members of PaperPortfolio3).
+func PaperPortfolio2() ([]Strategy, error) { return portfolio.PaperPortfolio2() }
+
+// MustStrategies unwraps a (strategies, error) pair, panicking on
+// error — for examples and tests with compile-time-constant specs.
+func MustStrategies(ss []Strategy, err error) []Strategy { return portfolio.Must(ss, err) }
 
 // VerifyColoring checks that colors is a proper k-coloring of g.
 func VerifyColoring(g *Graph, colors []int, k int) error {

@@ -103,7 +103,7 @@ func TestPublicAPIBenchmarks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	winner, _, err := fpgasat.RunPortfolio(g, in.RoutableW, fpgasat.PaperPortfolio3(), time.Minute)
+	winner, _, err := fpgasat.RunPortfolio(g, in.RoutableW, fpgasat.MustStrategies(fpgasat.PaperPortfolio3()), time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestPublicAPIObservability(t *testing.T) {
 	metrics := fpgasat.NewMetrics()
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	winner, all, err := fpgasat.RunPortfolioObserved(ctx, conflict, ub, fpgasat.PaperPortfolio3(), metrics)
+	winner, all, err := fpgasat.RunPortfolioObserved(ctx, conflict, ub, fpgasat.MustStrategies(fpgasat.PaperPortfolio3()), metrics)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,14 @@ type PortfolioConfig struct {
 	// strategy baseline and every portfolio lane; nil keeps the
 	// portfolio's default lane pool and fresh baseline solvers.
 	Pool *sat.Pool
+	// Verify and VerifyUnsat enable paranoid-mode answer checking of
+	// every portfolio run; LaneTimeout and MaxRetries configure the
+	// per-lane watchdog and budgeted retry policy (see
+	// portfolio.Options).
+	Verify      bool
+	VerifyUnsat bool
+	LaneTimeout time.Duration
+	MaxRetries  int
 }
 
 // PortfolioResult compares the best single strategy against the
@@ -56,6 +64,25 @@ func RunPortfolio(cfg PortfolioConfig) (*PortfolioResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	p2, err := portfolio.PaperPortfolio2()
+	if err != nil {
+		return nil, err
+	}
+	p3, err := portfolio.PaperPortfolio3()
+	if err != nil {
+		return nil, err
+	}
+	laneOpts := portfolio.Options{
+		Metrics:     cfg.Obs,
+		Pool:        cfg.Pool,
+		Verify:      cfg.Verify,
+		VerifyUnsat: cfg.VerifyUnsat,
+		LaneTimeout: cfg.LaneTimeout,
+		MaxRetries:  cfg.MaxRetries,
+	}
+	if laneOpts.Pool == nil {
+		laneOpts.Pool = portfolio.DefaultLanePool()
+	}
 	res := &PortfolioResult{}
 	for _, in := range cfg.Instances {
 		g, translate, err := BuildInstance(in)
@@ -68,20 +95,14 @@ func RunPortfolio(cfg PortfolioConfig) (*PortfolioResult, error) {
 		res.Single = append(res.Single, t.Total())
 		res.TotalSingle += t.Total()
 
-		for pi, members := range [][]core.Strategy{portfolio.PaperPortfolio2(), portfolio.PaperPortfolio3()} {
+		for pi, members := range [][]core.Strategy{p2, p3} {
 			start := time.Now()
 			ctx := context.Background()
 			cancel := context.CancelFunc(func() {})
 			if cfg.Timeout > 0 {
 				ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 			}
-			var winner portfolio.Result
-			var err error
-			if cfg.Pool != nil {
-				winner, _, err = portfolio.RunPooled(ctx, g, w, members, cfg.Obs, cfg.Pool)
-			} else {
-				winner, _, err = portfolio.RunObserved(ctx, g, w, members, cfg.Obs)
-			}
+			winner, _, err := portfolio.RunHardened(ctx, g, w, members, laneOpts)
 			cancel()
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s portfolio: %w", in.Name, err)

@@ -161,6 +161,9 @@ func (p Pin) String() string {
 }
 
 // PinSeg returns the channel segment p's connection block belongs to.
+// Out-of-range pins are programmer errors and panic (internal/robust
+// taxonomy); ParseNetlist/ParseRouting bound-check pins before any
+// code can reach here.
 func (a Arch) PinSeg(p Pin) SegID {
 	if p.X < 0 || p.X >= a.Cols || p.Y < 0 || p.Y >= a.Rows {
 		panic(fmt.Sprintf("fpga: pin %v outside %dx%d array", p, a.Cols, a.Rows))

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"fpgasat/internal/robust"
 )
 
 // This file provides a plain-text interchange format for netlists and
@@ -95,8 +97,16 @@ func ParseNetlist(r io.Reader) (*Netlist, error) {
 	if nl == nil {
 		return nil, fmt.Errorf("fpga: missing netlist header")
 	}
-	if err := nl.Validate(); err != nil {
-		return nil, err
+	// The validator is written for in-process netlists, where invariant
+	// violations are programmer errors; parsed input must never be able
+	// to crash the process, so a panic here is converted to an error
+	// (robustness contract of package robust).
+	var verr error
+	if cerr := robust.Capture("netlist validation", func() { verr = nl.Validate() }); cerr != nil {
+		return nil, &robust.InputError{Source: "netlist", Err: cerr}
+	}
+	if verr != nil {
+		return nil, verr
 	}
 	return nl, nil
 }
@@ -181,6 +191,10 @@ func ParseRouting(r io.Reader, nl *Netlist) (*GlobalRouting, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fpga: line %d: bad subnet index", line)
 			}
+			if ni < 0 || ni >= len(nl.Nets) {
+				return nil, fmt.Errorf("fpga: line %d: net index %d outside netlist (%d nets)",
+					line, ni, len(nl.Nets))
+			}
 			src, err := parsePin(fields[3], fields[4], fields[5])
 			if err != nil {
 				return nil, fmt.Errorf("fpga: line %d: %w", line, err)
@@ -188,6 +202,15 @@ func ParseRouting(r io.Reader, nl *Netlist) (*GlobalRouting, error) {
 			dst, err := parsePin(fields[6], fields[7], fields[8])
 			if err != nil {
 				return nil, fmt.Errorf("fpga: line %d: %w", line, err)
+			}
+			// Bound-check here, at the input boundary: downstream
+			// consumers (Arch.PinSeg, Validate) treat out-of-range pins
+			// as programmer errors and panic.
+			for _, p := range []Pin{src, dst} {
+				if p.X < 0 || p.X >= nl.Arch.Cols || p.Y < 0 || p.Y >= nl.Arch.Rows {
+					return nil, fmt.Errorf("fpga: line %d: pin %v outside %dx%d array",
+						line, p, nl.Arch.Cols, nl.Arch.Rows)
+				}
 			}
 			route := TwoPinNet{Net: ni, Index: si, Src: src, Dst: dst}
 			for _, seg := range fields[9:] {
@@ -208,8 +231,14 @@ func ParseRouting(r io.Reader, nl *Netlist) (*GlobalRouting, error) {
 	if !headerSeen {
 		return nil, fmt.Errorf("fpga: missing routing header")
 	}
-	if err := gr.Validate(); err != nil {
-		return nil, err
+	// Same contract as ParseNetlist: a validator panic on corrupted
+	// parsed input becomes an error, never a crash.
+	var verr error
+	if cerr := robust.Capture("routing validation", func() { verr = gr.Validate() }); cerr != nil {
+		return nil, &robust.InputError{Source: "routing", Err: cerr}
+	}
+	if verr != nil {
+		return nil, verr
 	}
 	return gr, nil
 }

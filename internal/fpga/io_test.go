@@ -108,6 +108,12 @@ func TestParseRoutingErrors(t *testing.T) {
 		"routing m\nroute 0 0 0 0 S 1 0 S H(0,0) X(1,0)\n", // bad segment kind
 		"routing m\nroute 0 0 0 0 S 1 0 S H(0,0) H(0,1)\n", // not adjacent / wrong end
 		"routing m\n", // sink uncovered (Validate)
+		// Out-of-range pins and net indices used to reach Arch.PinSeg
+		// and panic; they must be rejected at the parse boundary.
+		"routing m\nroute 0 0 9 9 S 1 0 S H(0,0) H(1,0)\n",  // src pin off array
+		"routing m\nroute 0 0 0 0 S 7 -1 S H(0,0) H(1,0)\n", // dst pin off array
+		"routing m\nroute 5 0 0 0 S 1 0 S H(0,0) H(1,0)\n",  // net index too large
+		"routing m\nroute -1 0 0 0 S 1 0 S H(0,0) H(1,0)\n", // negative net index
 	}
 	for _, in := range cases {
 		if _, err := ParseRouting(strings.NewReader(in), nl); err == nil {

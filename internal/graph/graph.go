@@ -46,7 +46,9 @@ func (g *Graph) AddVertex() int {
 
 // AddEdge inserts the undirected edge {u,v}. Adding an existing edge is
 // a no-op; self-loops panic since they would make the coloring CSP
-// trivially unsatisfiable by construction error.
+// trivially unsatisfiable by construction error. Out-of-range vertices
+// panic too: these are programmer errors under the taxonomy of
+// internal/robust — parse paths must validate before calling.
 func (g *Graph) AddEdge(u, v int) {
 	if u == v {
 		panic(fmt.Sprintf("graph: self-loop at %d", u))

@@ -1,0 +1,68 @@
+package mcnc
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fpgasat/internal/robust"
+)
+
+// FuzzParseMCNC checks the input-robustness contract of the instance-
+// registry parser: ParseInstances never panics on any input, every
+// rejection is a typed *robust.InputError, every accepted registry
+// passes its own validation caps, and accepted registries survive a
+// WriteInstances/ParseInstances round trip unchanged.
+func FuzzParseMCNC(f *testing.F) {
+	seeds := []string{
+		"instance tiny rows=4 cols=4 nets=10 minpins=2 maxpins=3 locality=2 seed=42 capacity=3 w=3\n",
+		"# comment\n\ninstance a rows=8 cols=8 nets=70 minpins=2 maxpins=4 locality=3 seed=102 capacity=4 w=7 hard\n",
+		"instance a rows=4 cols=4 nets=1 minpins=2 maxpins=2 locality=1 seed=1 capacity=1 w=1\n" +
+			"instance b rows=5 cols=5 nets=2 minpins=2 maxpins=2 locality=1 seed=2 capacity=2 w=2\n",
+		"",
+		"instance\n",
+		"instance x\n",
+		"instance x rows=banana\n",
+		"instance x rows=-1 cols=4 nets=1 minpins=2 maxpins=2 locality=1 seed=1 capacity=1 w=1\n",
+		"instance x rows=999999999 cols=999999999 nets=999999999 minpins=2 maxpins=2 locality=1 seed=1 capacity=1 w=1\n",
+		"instance x rows=4 rows=4\n",
+		"benchmark x rows=4\n",
+		"instance x rows=4 cols=4 nets=1 minpins=2 maxpins=2 locality=1 seed=1 capacity=1 w=1 hard hard\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// A registry of built-ins as a structured seed.
+	var buf bytes.Buffer
+	if err := WriteInstances(&buf, instances); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+
+	f.Fuzz(func(t *testing.T, in string) {
+		got, err := ParseInstances("fuzz.reg", strings.NewReader(in))
+		if err != nil {
+			if _, ok := err.(*robust.InputError); !ok {
+				t.Fatalf("rejection is %T, not *robust.InputError: %v", err, err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		for _, g := range got {
+			if verr := validateInstance(g); verr != nil {
+				t.Fatalf("accepted instance fails validation: %v\ninput: %q", verr, in)
+			}
+		}
+		if err := WriteInstances(&out, got); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		back, err := ParseInstances("fuzz.reg", bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\noutput: %q", err, out.String())
+		}
+		if !reflect.DeepEqual(back, got) {
+			t.Fatalf("round trip changed registry:\n got %+v\nback %+v", got, back)
+		}
+	})
+}

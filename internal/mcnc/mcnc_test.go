@@ -93,7 +93,7 @@ func raceWidth(t *testing.T, in Instance, w int, timeout time.Duration) sat.Stat
 	if err != nil {
 		t.Fatal(err)
 	}
-	winner, _, err := portfolio.Run(g, w, portfolio.PaperPortfolio3(), timeout)
+	winner, _, err := portfolio.Run(g, w, portfolio.Must(portfolio.PaperPortfolio3()), timeout)
 	if err != nil {
 		t.Fatalf("%s W=%d: %v", in.Name, w, err)
 	}

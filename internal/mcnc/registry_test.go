@@ -1,0 +1,80 @@
+package mcnc
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fpgasat/internal/robust"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteInstances(&buf, instances); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseInstances("builtin", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, instances) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, instances)
+	}
+}
+
+func TestRegistryParsesMinimalFile(t *testing.T) {
+	const text = `
+# comment, then a blank line
+
+instance tiny rows=4 cols=4 nets=10 minpins=2 maxpins=3 locality=2 seed=42 capacity=3 w=3 hard
+`
+	ins, err := ParseInstances("tiny.reg", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || ins[0].Name != "tiny" || !ins[0].Hard || ins[0].Gen.Seed != 42 {
+		t.Fatalf("parsed %+v", ins)
+	}
+	// A parsed instance must actually build.
+	if _, g, err := ins[0].Build(); err != nil || g.N() == 0 {
+		t.Fatalf("parsed instance does not build: %v", err)
+	}
+}
+
+func TestRegistryRejectsCorruptedInput(t *testing.T) {
+	cases := []struct {
+		name, text, wantMsg string
+		wantLine            int
+	}{
+		{"not an instance", "benchmark x rows=1", "expected", 1},
+		{"missing name", "instance", "lacks a name", 1},
+		{"bad integer", "instance x rows=banana", "not an integer", 1},
+		{"unknown field", "instance x rows=4 cols=4 nets=1 minpins=2 maxpins=2 locality=1 seed=1 capacity=1 w=1 color=7", "unknown field", 1},
+		{"malformed field", "instance x rows", "malformed field", 1},
+		{"duplicate field", "instance x rows=4 rows=5", "duplicate field", 1},
+		{"rows cap", "instance x rows=100000 cols=4 nets=1 minpins=2 maxpins=2 locality=1 seed=1 capacity=1 w=1", "outside", 1},
+		{"nets cap", "instance x rows=4 cols=4 nets=99999999 minpins=2 maxpins=2 locality=1 seed=1 capacity=1 w=1", "outside", 1},
+		{"pins inverted", "instance x rows=4 cols=4 nets=1 minpins=3 maxpins=2 locality=1 seed=1 capacity=1 w=1", "maxpins", 1},
+		{"missing fields", "instance x", "outside", 1},
+		{"duplicate instance", "instance x rows=4 cols=4 nets=1 minpins=2 maxpins=2 locality=1 seed=1 capacity=1 w=1\ninstance x rows=4 cols=4 nets=1 minpins=2 maxpins=2 locality=1 seed=1 capacity=1 w=1", "duplicate instance", 2},
+		{"empty file", "# only a comment\n", "no instances", 0},
+	}
+	for _, tc := range cases {
+		_, err := ParseInstances("bad.reg", strings.NewReader(tc.text))
+		if err == nil {
+			t.Fatalf("%s: corrupted input accepted", tc.name)
+		}
+		var ie *robust.InputError
+		ie, ok := err.(*robust.InputError)
+		if !ok {
+			t.Fatalf("%s: error %T is not *robust.InputError: %v", tc.name, err, err)
+		}
+		if ie.Source != "bad.reg" || ie.Line != tc.wantLine {
+			t.Fatalf("%s: error context %s:%d, want bad.reg:%d", tc.name, ie.Source, ie.Line, tc.wantLine)
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Fatalf("%s: error %q lacks %q", tc.name, err, tc.wantMsg)
+		}
+	}
+}

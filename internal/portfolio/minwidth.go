@@ -9,6 +9,7 @@ import (
 	"fpgasat/internal/core"
 	"fpgasat/internal/graph"
 	"fpgasat/internal/obs"
+	"fpgasat/internal/robust"
 	"fpgasat/internal/search"
 )
 
@@ -70,6 +71,11 @@ func RunMinWidth(ctx context.Context, g *graph.Graph, opts search.Options, strat
 			memberOpts.MetricSuffix = s.Name()
 			start := time.Now()
 			res, err := search.MinWidth(runCtx, g, memberOpts)
+			if _, ok := robust.AsPanic(err); ok && reg != nil {
+				// A crashed width-search lane degrades the portfolio to
+				// the survivors, same as a crashed decision lane.
+				reg.Counter(MetricPanics).Inc()
+			}
 			results[i] = WidthResult{
 				Strategy: s,
 				Search:   res,

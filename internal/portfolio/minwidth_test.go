@@ -15,7 +15,7 @@ func TestRunMinWidthBasic(t *testing.T) {
 	win, all, err := RunMinWidth(context.Background(), g, search.Options{
 		Lo: 1,
 		Hi: 6,
-	}, PaperPortfolio2(), reg)
+	}, Must(PaperPortfolio2()), reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestRunMinWidthNoStrategies(t *testing.T) {
 func TestRunMinWidthCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, all, err := RunMinWidth(ctx, graph.Complete(5), search.Options{Lo: 1, Hi: 8}, PaperPortfolio2(), nil)
+	_, all, err := RunMinWidth(ctx, graph.Complete(5), search.Options{Lo: 1, Hi: 8}, Must(PaperPortfolio2()), nil)
 	if err == nil {
 		t.Fatal("a cancelled run must not crown a winner")
 	}

@@ -10,7 +10,6 @@ package portfolio
 import (
 	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"fpgasat/internal/core"
@@ -51,7 +50,13 @@ type Result struct {
 	Clauses    int
 	Stats      sat.Stats
 	Winner     bool
-	Err        error
+	// Attempts counts how many times the lane ran, ≥ 2 when the retry
+	// policy re-ran it with an escalated conflict budget.
+	Attempts int
+	// Err carries the lane's failure: a decode/verification failure, a
+	// *robust.SoundnessError from paranoid mode, or a
+	// *robust.PanicError when the lane crashed and was isolated.
+	Err error
 }
 
 // Run solves the k-coloring of g with all strategies concurrently.
@@ -96,102 +101,21 @@ var lanePool sat.Pool
 // lane pool.
 func PoolStats() sat.PoolStats { return lanePool.Stats() }
 
+// DefaultLanePool returns the package-default lane pool, for callers
+// that configure a hardened run (RunHardened) but want the shared
+// solver-reuse behaviour of RunObserved.
+func DefaultLanePool() *sat.Pool { return &lanePool }
+
 // RunPooled is RunObserved drawing each lane's solver from the given
 // pool (nil falls back to fresh solvers), so callers that own a
 // long-lived pool — a facade Session serving many requests — carry
-// solver capacity across runs.
+// solver capacity across runs. Lanes are panic-isolated (a crashing
+// lane surfaces a *robust.PanicError in its Result and the run
+// degrades to the survivors); the further supervision features —
+// paranoid answer checking, budgeted retries, watchdog timeouts — are
+// reached through RunHardened.
 func RunPooled(ctx context.Context, g *graph.Graph, k int, strategies []core.Strategy, reg *obs.Registry, pool *sat.Pool) (Result, []Result, error) {
-	if len(strategies) == 0 {
-		return Result{}, nil, fmt.Errorf("portfolio: no strategies")
-	}
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	results := make([]Result, len(strategies))
-	var wg sync.WaitGroup
-	for i, s := range strategies {
-		wg.Add(1)
-		go func(i int, s core.Strategy) {
-			defer wg.Done()
-			results[i] = runStrategy(runCtx, g, k, s, reg, pool)
-			if r := &results[i]; r.Err == nil && r.Status != sat.Unknown {
-				cancel() // first definite answer terminates the rest
-			}
-		}(i, s)
-	}
-	wg.Wait()
-
-	if reg != nil && pool != nil {
-		ps := pool.Stats()
-		reg.Gauge(MetricPoolGets).Set(ps.Gets)
-		reg.Gauge(MetricPoolReuses).Set(ps.Reuses)
-		reg.Gauge(MetricArenaWords).Set(ps.ArenaWords)
-		reg.Gauge(MetricArenaCap).Set(ps.ArenaCapWords)
-	}
-
-	winner, err := combine(results)
-	if err != nil {
-		return Result{}, results, err
-	}
-	if winner < 0 {
-		for _, r := range results {
-			if r.Err != nil {
-				return Result{}, results, fmt.Errorf("portfolio: strategy %s failed: %w",
-					r.Strategy.Name(), r.Err)
-			}
-		}
-		return Result{}, results, fmt.Errorf("portfolio: no strategy answered within the timeout")
-	}
-	results[winner].Winner = true
-	if reg != nil {
-		reg.Counter(MetricWins + "." + results[winner].Strategy.Name()).Inc()
-		if margin, ok := winnerMargin(results, winner); ok {
-			reg.Gauge(MetricWinnerMargin).Set(int64(margin))
-		}
-	}
-	return results[winner], results, nil
-}
-
-// runStrategy executes one portfolio member: encode, solve, decode,
-// with per-stage telemetry. The encoding streams straight into the
-// lane's (pooled) solver — no intermediate CNF is materialized.
-func runStrategy(ctx context.Context, g *graph.Graph, k int, s core.Strategy, reg *obs.Registry, pool *sat.Pool) Result {
-	res := Result{Strategy: s, Status: sat.Unknown}
-	if ctx.Err() != nil {
-		return res // cancelled before this member even encoded
-	}
-	name := s.Name()
-	start := time.Now()
-
-	var solver *sat.Solver
-	if pool != nil {
-		solver = pool.Get(sat.Options{})
-		defer pool.Put(solver)
-	} else {
-		solver = sat.New(sat.Options{})
-	}
-
-	span := reg.StartSpan(MetricEncode + "." + name)
-	csp := core.BuildCSP(g, k, s.Symmetry)
-	enc := core.EncodeInto(csp, s.Encoding, sat.SolverSink{S: solver})
-	res.EncodeTime = span.End()
-	res.Vars = enc.NumVars
-	res.Clauses = enc.StructuralClauses + enc.ConflictClauses
-	if reg != nil {
-		reg.Gauge(MetricCNFVars + "." + name).Set(int64(res.Vars))
-		reg.Gauge(MetricCNFClauses + "." + name).Set(int64(res.Clauses))
-	}
-
-	span = reg.StartSpan(MetricSolve + "." + name)
-	st := solver.SolveAssumingContext(ctx)
-	res.Status = st
-	res.Stats = solver.Stats
-	if st == sat.Sat {
-		res.Colors, res.Err = enc.DecodeVerify(solver.Model())
-	}
-	res.SolveTime = span.End()
-	res.Elapsed = time.Since(start)
-	return res
+	return RunHardened(ctx, g, k, strategies, Options{Metrics: reg, Pool: pool})
 }
 
 // combine selects the winner (the fastest error-free definite answer)
@@ -266,20 +190,31 @@ func Strategies(specs ...string) ([]core.Strategy, error) {
 // PaperPortfolio3 returns the paper's three-strategy portfolio:
 // ITE-linear-2+muldirect/s1, muldirect-3+muldirect/s1 and
 // ITE-linear-2+direct/s1.
-func PaperPortfolio3() []core.Strategy {
-	ss, err := Strategies(
+func PaperPortfolio3() ([]core.Strategy, error) {
+	return Strategies(
 		"ITE-linear-2+muldirect/s1",
 		"muldirect-3+muldirect/s1",
 		"ITE-linear-2+direct/s1",
 	)
-	if err != nil {
-		panic(err)
-	}
-	return ss
 }
 
 // PaperPortfolio2 returns the paper's two-strategy portfolio (the
 // first two members of PaperPortfolio3).
-func PaperPortfolio2() []core.Strategy {
-	return PaperPortfolio3()[:2]
+func PaperPortfolio2() ([]core.Strategy, error) {
+	ss, err := PaperPortfolio3()
+	if err != nil {
+		return nil, err
+	}
+	return ss[:2], nil
+}
+
+// Must unwraps a (strategies, error) pair, panicking on error — for
+// examples and tests where the specs are compile-time constants:
+//
+//	strategies := portfolio.Must(portfolio.PaperPortfolio3())
+func Must(ss []core.Strategy, err error) []core.Strategy {
+	if err != nil {
+		panic(err)
+	}
+	return ss
 }

@@ -17,7 +17,7 @@ import (
 
 func TestRunAgreesWithExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	strategies := PaperPortfolio3()
+	strategies := Must(PaperPortfolio3())
 	for trial := 0; trial < 10; trial++ {
 		g := graph.Random(rng, 6+rng.Intn(10), 0.4+rng.Float64()*0.4)
 		k := 2 + rng.Intn(4)
@@ -77,7 +77,7 @@ func TestRunTimeout(t *testing.T) {
 	// strategy can answer.
 	rng := rand.New(rand.NewSource(5))
 	g := graph.Random(rng, 120, 0.5)
-	if _, _, err := Run(g, 9, PaperPortfolio2(), time.Microsecond); err == nil {
+	if _, _, err := Run(g, 9, Must(PaperPortfolio2()), time.Microsecond); err == nil {
 		t.Skip("instance solved within a microsecond; timeout path not exercised")
 	}
 }
@@ -133,7 +133,7 @@ var errBroken = fmt.Errorf("broken strategy")
 // registry.
 func TestRunTelemetryPopulated(t *testing.T) {
 	g := graph.Complete(6)
-	strategies := PaperPortfolio3()
+	strategies := Must(PaperPortfolio3())
 	reg := obs.NewRegistry()
 	winner, all, err := RunObserved(context.Background(), g, 6, strategies, reg)
 	if err != nil {
@@ -179,7 +179,7 @@ func TestRunTelemetryPopulated(t *testing.T) {
 func TestRunContextPreCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, all, err := RunContext(ctx, graph.Complete(8), 7, PaperPortfolio3())
+	_, all, err := RunContext(ctx, graph.Complete(8), 7, Must(PaperPortfolio3()))
 	if err == nil {
 		t.Fatal("pre-cancelled context produced an answer")
 	}
@@ -207,12 +207,15 @@ func TestStrategiesParse(t *testing.T) {
 }
 
 func TestPaperPortfolios(t *testing.T) {
-	p3 := PaperPortfolio3()
+	p3, err := PaperPortfolio3()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(p3) != 3 || p3[0].Name() != "ITE-linear-2+muldirect/s1" ||
 		p3[1].Name() != "muldirect-3+muldirect/s1" || p3[2].Name() != "ITE-linear-2+direct/s1" {
 		t.Fatalf("portfolio 3 = %v", names(p3))
 	}
-	if len(PaperPortfolio2()) != 2 {
+	if len(Must(PaperPortfolio2())) != 2 {
 		t.Fatal("portfolio 2 size")
 	}
 }

@@ -90,6 +90,11 @@ type Result struct {
 	// Model[v-1].
 	Model []bool
 	Stats Stats
+	// Err is set by supervised wrappers (e.g. Session.SolveCNF) when
+	// the solve failed abnormally — typically a *robust.PanicError from
+	// a crashed solve; Status is Unknown in that case. The plain
+	// SolveCNF* functions leave it nil.
+	Err error
 }
 
 // SolveCNFContext is SolveCNF with context-based cancellation: the
@@ -109,8 +114,11 @@ func SolveCNFReusing(ctx context.Context, pool *Pool, c *CNF, opts Options) Resu
 		return SolveCNFContext(ctx, c, opts)
 	}
 	s := pool.Get(opts)
-	defer pool.Put(s)
-	return solveCNFOn(s, c, ctx.Done())
+	res := solveCNFOn(s, c, ctx.Done())
+	// Deliberately not deferred: a panicking solve must abandon the
+	// solver rather than return its corrupted state to the pool.
+	pool.Put(s)
+	return res
 }
 
 // SolveCNF is a convenience wrapper: load the formula into a fresh
@@ -130,7 +138,11 @@ func SolveCNF(c *CNF, opts Options, stop <-chan struct{}) Result {
 // pooled and reused).
 func solveCNFOn(s *Solver, c *CNF, stop <-chan struct{}) Result {
 	if !s.Load(c) {
-		return Result{Status: Unsat, Stats: s.Stats}
+		// Refuted during loading (conflicting units at level 0). Solve
+		// on the refuted database is a cheap no-op that still closes
+		// the DRAT proof with the empty clause — returning Unsat here
+		// directly would leave a proof that derives nothing.
+		return Result{Status: s.Solve(), Stats: s.Stats}
 	}
 	var st Status
 	if stop != nil {
@@ -144,9 +156,15 @@ func solveCNFOn(s *Solver, c *CNF, stop <-chan struct{}) Result {
 			case <-done:
 			}
 		}()
-		st = s.Solve()
-		close(done)
-		<-exited
+		st = func() Status {
+			// Deferred so the watcher is joined even when the solve
+			// panics and the panic unwinds through a recover boundary.
+			defer func() {
+				close(done)
+				<-exited
+			}()
+			return s.Solve()
+		}()
 	} else {
 		st = s.Solve()
 	}

@@ -2,6 +2,7 @@ package sat
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -153,6 +154,39 @@ func TestDRATGraphColoringCertificate(t *testing.T) {
 	}
 	if err := CheckDRAT(cnf, proof); err != nil {
 		t.Fatalf("coloring certificate rejected: %v", err)
+	}
+}
+
+// TestDRATLoadTimeUnsatProofCloses: a formula refuted while loading
+// (conflicting unit clauses, zero search conflicts) must still produce
+// a checkable proof — solveCNFOn used to return Unsat before Solve()
+// could log the closing empty clause, leaving an empty proof that
+// CheckDRAT rejects.
+func TestDRATLoadTimeUnsatProofCloses(t *testing.T) {
+	cases := map[string]*CNF{
+		"conflicting units": func() *CNF {
+			c := &CNF{}
+			c.AddClause(1)
+			c.AddClause(-1)
+			return c
+		}(),
+		"unit chain": func() *CNF {
+			c := &CNF{}
+			c.AddClause(1)
+			c.AddClause(-1, 2)
+			c.AddClause(-2)
+			return c
+		}(),
+	}
+	for name, cnf := range cases {
+		var proof bytes.Buffer
+		r := SolveCNFContext(context.Background(), cnf, Options{ProofWriter: &proof})
+		if r.Status != Unsat {
+			t.Fatalf("%s: status %v", name, r.Status)
+		}
+		if err := CheckDRAT(cnf, bytes.NewReader(proof.Bytes())); err != nil {
+			t.Fatalf("%s: load-time-unsat proof rejected: %v", name, err)
+		}
 	}
 }
 

@@ -60,6 +60,8 @@ func (l Lit) Dimacs() int {
 // LitFromDimacs converts a non-zero DIMACS integer to a Lit.
 // It panics on 0, which DIMACS reserves as the clause terminator.
 func LitFromDimacs(d int) Lit {
+	// Programmer error, not an input error (internal/robust taxonomy):
+	// DIMACS parse paths reject literal 0 before constructing.
 	if d == 0 {
 		panic("sat: DIMACS literal 0")
 	}

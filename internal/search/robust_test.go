@@ -1,0 +1,78 @@
+package search_test
+
+import (
+	"context"
+	"testing"
+
+	"fpgasat/internal/graph"
+	"fpgasat/internal/robust"
+	"fpgasat/internal/sat"
+	"fpgasat/internal/search"
+)
+
+// TestMinWidthIsolatesProbePanic: a panic inside a width probe must
+// come back as a *robust.PanicError with the partial result — never
+// crash — and the crashed solver must not re-enter the pool.
+func TestMinWidthIsolatesProbePanic(t *testing.T) {
+	s := mustStrategy(t, "ITE-linear-2+muldirect/s1")
+	robust.SetFailpoint(robust.FPSearchProbe, func(args ...any) {
+		if args[1].(int) == 3 { // crash mid-search, after the W=4 probe
+			panic("injected probe crash")
+		}
+	})
+	t.Cleanup(func() { robust.ClearFailpoint(robust.FPSearchProbe) })
+
+	var pool sat.Pool
+	g := graph.Complete(4) // needs exactly 4 colors
+	res, err := search.MinWidth(context.Background(), g, search.Options{
+		Strategy: s,
+		Hi:       5,
+		Pool:     &pool,
+	})
+	pe, ok := robust.AsPanic(err)
+	if !ok {
+		t.Fatalf("probe panic not isolated: err = %v", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error lacks a stack")
+	}
+	if res == nil || res.MinWidth != 4 {
+		t.Fatalf("partial result lost: %+v", res)
+	}
+
+	// The crashed solver was abandoned: a follow-up search on the same
+	// pool must get a fresh instance (no reuse) and still work.
+	robust.ClearFailpoint(robust.FPSearchProbe)
+	res, err = search.MinWidth(context.Background(), g, search.Options{
+		Strategy: s,
+		Hi:       5,
+		Pool:     &pool,
+	})
+	if err != nil || !res.ProvedOptimal || res.MinWidth != 4 {
+		t.Fatalf("pool poisoned by crashed solver: res=%+v err=%v", res, err)
+	}
+	if st := pool.Stats(); st.Reuses != 0 {
+		t.Fatalf("crashed solver re-entered the pool: %+v", st)
+	}
+}
+
+// TestMinWidthReturnsSolverOnHealthyPath pins the counterpart: an
+// error-free search recycles its solver, so the next search reuses it.
+func TestMinWidthReturnsSolverOnHealthyPath(t *testing.T) {
+	s := mustStrategy(t, "ITE-linear-2+muldirect/s1")
+	var pool sat.Pool
+	g := graph.Complete(4)
+	for i := 0; i < 2; i++ {
+		res, err := search.MinWidth(context.Background(), g, search.Options{
+			Strategy: s,
+			Hi:       5,
+			Pool:     &pool,
+		})
+		if err != nil || res.MinWidth != 4 {
+			t.Fatalf("run %d: res=%+v err=%v", i, res, err)
+		}
+	}
+	if st := pool.Stats(); st.Reuses == 0 {
+		t.Fatalf("healthy solver not recycled: %+v", st)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fpgasat/internal/core"
 	"fpgasat/internal/graph"
 	"fpgasat/internal/obs"
+	"fpgasat/internal/robust"
 	"fpgasat/internal/sat"
 )
 
@@ -114,7 +115,8 @@ type Result struct {
 // MinWidth runs the incremental minimum-width search for g under the
 // options. It encodes once at opts.Hi and probes widths via selector
 // assumptions on one solver. The returned error is non-nil only for
-// invalid options or a decode failure (an encoding soundness bug);
+// invalid options, a decode failure (an encoding soundness bug), or a
+// *robust.PanicError when the search crashed and was isolated;
 // cancellation and timeouts end the search early with a partial Result.
 func MinWidth(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	if opts.Hi < 1 {
@@ -130,6 +132,23 @@ func MinWidth(ctx context.Context, g *graph.Graph, opts Options) (*Result, error
 	if opts.Strategy.Encoding == nil {
 		return nil, fmt.Errorf("search: options lack an encoding strategy")
 	}
+	// The search runs supervised: a panic in the encoder or the solver
+	// comes back as a *robust.PanicError with the partial Result, and
+	// the crashed solver is abandoned instead of re-entering the pool.
+	res := &Result{}
+	var err error
+	if cerr := robust.Capture("width search "+opts.Strategy.Name(), func() {
+		err = minWidthOn(ctx, g, opts, lo, res)
+	}); cerr != nil {
+		return res, cerr
+	}
+	return res, err
+}
+
+// minWidthOn is the unsupervised body of MinWidth. It returns the
+// search's solver to the pool only on the panic-free path — its caller
+// owns the recover boundary.
+func minWidthOn(ctx context.Context, g *graph.Graph, opts Options, lo int, res *Result) error {
 	suffix := ""
 	if opts.MetricSuffix != "" {
 		suffix = "." + opts.MetricSuffix
@@ -139,17 +158,16 @@ func MinWidth(ctx context.Context, g *graph.Graph, opts Options) (*Result, error
 	var solver *sat.Solver
 	if opts.Pool != nil {
 		solver = opts.Pool.Get(opts.Solver)
-		defer opts.Pool.Put(solver)
 	} else {
 		solver = sat.New(opts.Solver)
 	}
 	span := reg.StartSpan(MetricEncode + suffix)
 	csp := core.BuildCSP(g, opts.Hi, opts.Strategy.Symmetry)
 	inc := core.EncodeIncremental(csp, opts.Strategy.Encoding, lo, sat.SolverSink{S: solver})
-	encodeTime := span.End()
+	res.EncodeTime = span.End()
 
-	res := &Result{EncodeTime: encodeTime}
 	probe := func(w int) (sat.Status, error) {
+		robust.Hit(robust.FPSearchProbe, opts.Strategy.Name(), w)
 		assumps, err := inc.Assumptions(w)
 		if err != nil {
 			return sat.Unknown, err
@@ -211,10 +229,12 @@ func MinWidth(ctx context.Context, g *graph.Graph, opts Options) (*Result, error
 		reg.Gauge(MetricArenaCap + suffix).Set(int64(ast.CapWords))
 		reg.Gauge(MetricArenaCollections + suffix).Set(ast.Collections)
 	}
-	if err != nil {
-		return res, err
+	// Reached only when no probe panicked: the solver is healthy and
+	// may carry its capacity to the next search.
+	if opts.Pool != nil {
+		opts.Pool.Put(solver)
 	}
-	return res, nil
+	return err
 }
 
 // descendingSearch probes Hi, Hi-1, ... until an Unsat width (proved

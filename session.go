@@ -15,6 +15,7 @@ import (
 
 	"fpgasat/internal/core"
 	"fpgasat/internal/portfolio"
+	"fpgasat/internal/robust"
 	"fpgasat/internal/sat"
 	"fpgasat/internal/search"
 )
@@ -91,9 +92,18 @@ func (s *Session) recordPoolMetrics() {
 }
 
 // SolveCNF solves a formula on a pooled solver with context-based
-// cancellation — the session counterpart of SolveCNFContext.
+// cancellation — the session counterpart of SolveCNFContext. The solve
+// is supervised: a panicking solver is converted into a
+// *robust.PanicError in SolveResult.Err (Status Unknown) and its
+// corrupted instance is abandoned instead of returning to the pool.
 func (s *Session) SolveCNF(ctx context.Context, c *CNF, opts SolverOptions) SolveResult {
-	res := sat.SolveCNFReusing(ctx, &s.pool, c, opts)
+	var res SolveResult
+	if err := robust.Capture("session CNF solve", func() {
+		robust.Hit(robust.FPSessionSolve, "cnf")
+		res = sat.SolveCNFReusing(ctx, &s.pool, c, opts)
+	}); err != nil {
+		res = SolveResult{Status: Unknown, Err: err}
+	}
 	s.recordPoolMetrics()
 	return res
 }
@@ -101,27 +111,37 @@ func (s *Session) SolveCNF(ctx context.Context, c *CNF, opts SolverOptions) Solv
 // SolveGraph solves the k-coloring of g under one strategy on a pooled
 // solver, streaming the encoding straight into the solver's clause
 // arena (no intermediate CNF). For Sat it returns the verified
-// coloring.
+// coloring. The solve is supervised: a panic anywhere in encode, solve
+// or decode comes back as a *robust.PanicError (Status Unknown), and
+// the crashed solver is abandoned instead of returning to the pool.
 func (s *Session) SolveGraph(ctx context.Context, g *Graph, k int, strategy Strategy, opts SolverOptions) (Status, []int, error) {
 	if strategy.Encoding == nil {
 		return Unknown, nil, fmt.Errorf("fpgasat: strategy lacks an encoding")
 	}
-	solver := s.pool.Get(opts)
-	defer func() {
+	st := Unknown
+	var colors []int
+	var err error
+	cerr := robust.Capture("session graph solve "+strategy.Name(), func() {
+		robust.Hit(robust.FPSessionSolve, "graph")
+		solver := s.pool.Get(opts)
+		csp := core.BuildCSP(g, k, strategy.Symmetry)
+		enc := core.EncodeInto(csp, strategy.Encoding, sat.SolverSink{S: solver})
+		st = solver.SolveAssumingContext(ctx)
+		if st == Sat {
+			colors, err = enc.DecodeVerify(solver.Model())
+		}
+		// Reached only when the solve did not panic: the solver is
+		// healthy and may be recycled.
 		s.pool.Put(solver)
-		s.recordPoolMetrics()
-	}()
-	csp := core.BuildCSP(g, k, strategy.Symmetry)
-	enc := core.EncodeInto(csp, strategy.Encoding, sat.SolverSink{S: solver})
-	st := solver.SolveAssumingContext(ctx)
-	if st != Sat {
-		return st, nil, nil
+	})
+	if cerr != nil {
+		st, colors, err = Unknown, nil, cerr
 	}
-	colors, err := enc.DecodeVerify(solver.Model())
+	s.recordPoolMetrics()
 	if err != nil {
 		return st, nil, err
 	}
-	return Sat, colors, nil
+	return st, colors, nil
 }
 
 // MinWidth runs the incremental minimum-width search on a pooled
@@ -144,6 +164,22 @@ func (s *Session) MinWidth(ctx context.Context, g *Graph, opts SearchOptions) (*
 // session's metrics registry.
 func (s *Session) Portfolio(ctx context.Context, g *Graph, k int, strategies []Strategy) (PortfolioResult, []PortfolioResult, error) {
 	win, all, err := portfolio.RunPooled(ctx, g, k, strategies, s.metrics, &s.pool)
+	s.recordPoolMetrics()
+	return win, all, err
+}
+
+// PortfolioHardened is Portfolio with the full supervision layer
+// (paranoid answer checking, per-lane watchdogs, budgeted retries)
+// configured through opts; opts.Metrics and opts.Pool default to the
+// session's registry and pool.
+func (s *Session) PortfolioHardened(ctx context.Context, g *Graph, k int, strategies []Strategy, opts PortfolioOptions) (PortfolioResult, []PortfolioResult, error) {
+	if opts.Metrics == nil {
+		opts.Metrics = s.metrics
+	}
+	if opts.Pool == nil {
+		opts.Pool = &s.pool
+	}
+	win, all, err := portfolio.RunHardened(ctx, g, k, strategies, opts)
 	s.recordPoolMetrics()
 	return win, all, err
 }
