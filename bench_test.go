@@ -22,6 +22,7 @@ import (
 	"fpgasat/internal/portfolio"
 	"fpgasat/internal/sat"
 	"fpgasat/internal/search"
+	"fpgasat/internal/share"
 )
 
 // benchInstances returns the Table 2 instances measured by default:
@@ -156,6 +157,37 @@ func BenchmarkPortfolio(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPortfolioBlind and BenchmarkPortfolioShared contrast a
+// seeded portfolio of replicated same-strategy lanes racing blind
+// against the same lanes cooperating through the learnt-clause
+// exchange — the saving measured in the clause-sharing study
+// (EXPERIMENTS.md, BENCH_portfolio.json).
+func BenchmarkPortfolioBlind(b *testing.B)  { benchSharedPortfolio(b, false) }
+func BenchmarkPortfolioShared(b *testing.B) { benchSharedPortfolio(b, true) }
+
+func benchSharedPortfolio(b *testing.B, shared bool) {
+	in := mustInstance(b, "alu2")
+	g := mustGraph(b, in)
+	w := in.UnroutableW()
+	lanes := portfolio.Replicate([]core.Strategy{mustStrategy(b, "ITE-linear-2+muldirect/s1")}, 2)
+	b.ReportAllocs()
+	var conflicts int64
+	for i := 0; i < b.N; i++ {
+		opts := portfolio.Options{Seed: 1}
+		if shared {
+			opts.Share = &share.Options{}
+		}
+		winner, all, err := portfolio.RunHardened(context.Background(), g, w, lanes, opts)
+		if err != nil || winner.Status != sat.Unsat {
+			b.Fatalf("%v %v", winner.Status, err)
+		}
+		for _, r := range all {
+			conflicts += r.Stats.Conflicts
+		}
+	}
+	b.ReportMetric(float64(conflicts)/float64(b.N), "conflicts/op")
 }
 
 // BenchmarkEncodingSizes measures pure CNF generation (the

@@ -47,14 +47,21 @@ func main() {
 		verify     = flag.Bool("verify", false, "paranoid mode: re-verify Sat answers and replay Unsat answers in portfolio runs")
 		laneTO     = flag.Duration("lane-timeout", 0, "per-lane watchdog timeout for portfolio runs (0 = none)")
 		maxRetries = flag.Int("max-retries", 0, "budgeted-retry attempts per portfolio lane (0 = no retry)")
+		shareCmp   = flag.Bool("share", false, "clause-sharing study: blind vs cooperating replicated-lane portfolio")
+		shareLBD   = flag.Int("share-lbd", 4, "with -share: export only learnt clauses with LBD at most this")
+		shareMax   = flag.Int("share-max", 8, "with -share: export only learnt clauses with at most this many literals")
+		shareLanes = flag.Int("share-lanes", 2, "with -share: same-strategy lanes per run")
+		seed       = flag.Int64("seed", 1, "lane diversification seed for the -share study")
+		shareReps  = flag.Int("share-repeats", 1, "with -share: repeat each (instance, mode) run over seeds seed..seed+N-1 and sum wall clock")
+		benchOut   = flag.String("bench-out", "", "with -share: write the study as JSON to this file (BENCH_portfolio.json format)")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *figure1, *table2, *routable, *portfolio = true, true, true, true, true
-		*sizes, *solvers, *trees, *symAbl, *baselines = true, true, true, true, true
+		*sizes, *solvers, *trees, *symAbl, *baselines, *shareCmp = true, true, true, true, true, true
 	}
 	if !*table1 && !*figure1 && !*table2 && !*routable && !*portfolio &&
-		!*sizes && !*solvers && !*trees && !*symAbl && !*baselines {
+		!*sizes && !*solvers && !*trees && !*symAbl && !*baselines && !*shareCmp {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -151,6 +158,33 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(r.Markdown())
+	}
+	if *shareCmp {
+		r, err := experiments.RunShareComparison(experiments.ShareCompareConfig{
+			Instances: insts, Lanes: *shareLanes, Seed: *seed, Repeats: *shareReps,
+			Share:   fpgasat.ShareOptions{MaxLBD: int32(*shareLBD), MaxSize: *shareMax},
+			Timeout: *timeout, Progress: progress, Pool: pool,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Markdown())
+		fmt.Printf("Sharing improved wall clock on %d of %d instances (total %.2f×).\n\n",
+			r.Improved(), len(r.Rows), r.TotalSpeedup)
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote clause-sharing benchmark record to %s\n\n", *benchOut)
+		}
 	}
 	if *sizes {
 		r, err := experiments.RunSizes(insts[0])

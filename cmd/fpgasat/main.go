@@ -68,6 +68,11 @@ func main() {
 		verify       = flag.Bool("verify", false, "paranoid mode: re-verify Sat answers against the conflict graph and replay Unsat answers through the DRAT checker (with -portfolio)")
 		laneTimeout  = flag.Duration("lane-timeout", 0, "per-lane attempt timeout and watchdog grace period for -portfolio (0 = none)")
 		maxRetries   = flag.Int("max-retries", 0, "re-run a budget-exhausted portfolio lane up to this many times with escalated budgets")
+		shareOn      = flag.Bool("share", false, "with -portfolio: replicate each strategy into -share-lanes seeded lanes exchanging learnt clauses")
+		shareLBD     = flag.Int("share-lbd", 4, "with -share: export only learnt clauses with LBD at most this")
+		shareMax     = flag.Int("share-max", 8, "with -share: export only learnt clauses with at most this many literals")
+		shareLanes   = flag.Int("share-lanes", 2, "with -share: same-strategy lanes per portfolio member")
+		seed         = flag.Int64("seed", 0, "diversification seed for -portfolio lanes (0 = unseeded; -share defaults it to 1)")
 	)
 	flag.Parse()
 
@@ -130,12 +135,17 @@ func main() {
 	}
 
 	if *usePortfolio {
-		runPortfolio(gr, g, *w, *timeout, *tracks, fpgasat.PortfolioOptions{
+		opts := fpgasat.PortfolioOptions{
 			Verify:      *verify,
 			VerifyUnsat: *verify,
 			LaneTimeout: *laneTimeout,
 			MaxRetries:  *maxRetries,
-		})
+			Seed:        *seed,
+		}
+		if *shareOn {
+			opts.Share = &fpgasat.ShareOptions{MaxLBD: int32(*shareLBD), MaxSize: *shareMax}
+		}
+		runPortfolio(gr, g, *w, *timeout, *tracks, *shareLanes, opts)
 		return
 	}
 
@@ -233,8 +243,13 @@ func solverOptions() sat.Options {
 // the per-strategy telemetry table. The run goes through the hardened
 // supervision layer: lanes are panic-isolated, and opts enables
 // paranoid answer checking, watchdog timeouts and budgeted retries.
-func runPortfolio(gr *fpga.GlobalRouting, g *graph.Graph, w int, timeout time.Duration, tracks bool, opts fpgasat.PortfolioOptions) {
+func runPortfolio(gr *fpga.GlobalRouting, g *graph.Graph, w int, timeout time.Duration, tracks bool, shareLanes int, opts fpgasat.PortfolioOptions) {
 	registerRobustnessMetrics()
+	if opts.Share != nil {
+		for _, name := range fpgasat.ShareMetricNames() {
+			reg.Counter(name)
+		}
+	}
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -244,6 +259,11 @@ func runPortfolio(gr *fpga.GlobalRouting, g *graph.Graph, w int, timeout time.Du
 	members, err := fpgasat.PaperPortfolio3()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if opts.Share != nil {
+		// Clauses only flow between lanes of one strategy, so give every
+		// member enough same-strategy peers to make sharing worthwhile.
+		members = fpgasat.ReplicateStrategies(members, shareLanes)
 	}
 	span := reg.StartSpan("pipeline.solve")
 	winner, all, err := session.PortfolioHardened(ctx, g, w, members, opts)

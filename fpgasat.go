@@ -22,6 +22,7 @@ import (
 	"fpgasat/internal/robust"
 	"fpgasat/internal/sat"
 	"fpgasat/internal/search"
+	"fpgasat/internal/share"
 	"fpgasat/internal/symmetry"
 )
 
@@ -98,9 +99,17 @@ type (
 	// PortfolioResult is one strategy's outcome within a portfolio run.
 	PortfolioResult = portfolio.Result
 	// PortfolioOptions configure a hardened portfolio run: paranoid
-	// answer verification, per-lane watchdog timeouts and budgeted
-	// retries (see RunPortfolioHardened).
+	// answer verification, per-lane watchdog timeouts, budgeted
+	// retries, per-lane seeding and clause sharing (see
+	// RunPortfolioHardened).
 	PortfolioOptions = portfolio.Options
+	// ShareOptions configure the learnt-clause exchange of a clause-
+	// sharing portfolio (export filter, ring size, import budget, seed,
+	// deterministic replay); set PortfolioOptions.Share to enable it.
+	ShareOptions = share.Options
+	// ShareStats snapshots clause-exchange activity; the same numbers
+	// are published as the portfolio.share.* counters.
+	ShareStats = share.Stats
 
 	// PanicError is a panic captured at a supervision boundary
 	// (portfolio lane, width-search probe, Session solve), carrying the
@@ -171,6 +180,17 @@ const (
 	MetricAbandoned       = portfolio.MetricAbandoned
 )
 
+// Clause-sharing metric names recorded by hardened portfolio runs with
+// PortfolioOptions.Share set (see ShareStats for the semantics).
+const (
+	MetricShareExported   = portfolio.MetricShareExported
+	MetricShareFiltered   = portfolio.MetricShareFiltered
+	MetricShareDuplicates = portfolio.MetricShareDuplicates
+	MetricShareDropped    = portfolio.MetricShareDropped
+	MetricShareImported   = portfolio.MetricShareImported
+	MetricShareRejected   = portfolio.MetricShareRejected
+)
+
 // RobustnessMetricNames lists the robustness counters above, in a
 // stable order — convenience for pre-registering them in a registry.
 func RobustnessMetricNames() []string {
@@ -180,6 +200,19 @@ func RobustnessMetricNames() []string {
 		MetricVerifySat,
 		MetricVerifyUnsat,
 		MetricAbandoned,
+	}
+}
+
+// ShareMetricNames lists the clause-sharing counters, in a stable
+// order — convenience for pre-registering them in a registry.
+func ShareMetricNames() []string {
+	return []string{
+		MetricShareExported,
+		MetricShareFiltered,
+		MetricShareDuplicates,
+		MetricShareDropped,
+		MetricShareImported,
+		MetricShareRejected,
 	}
 }
 
@@ -360,6 +393,11 @@ func PaperPortfolio2() ([]Strategy, error) { return portfolio.PaperPortfolio2() 
 // MustStrategies unwraps a (strategies, error) pair, panicking on
 // error — for examples and tests with compile-time-constant specs.
 func MustStrategies(ss []Strategy, err error) []Strategy { return portfolio.Must(ss, err) }
+
+// ReplicateStrategies expands each strategy into n interleaved copies —
+// the lane set for a clause-sharing portfolio, where same-strategy
+// lanes diversify by seed and exchange learnt clauses.
+func ReplicateStrategies(ss []Strategy, n int) []Strategy { return portfolio.Replicate(ss, n) }
 
 // VerifyColoring checks that colors is a proper k-coloring of g.
 func VerifyColoring(g *Graph, colors []int, k int) error {

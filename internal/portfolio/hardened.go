@@ -21,6 +21,7 @@ import (
 	"fpgasat/internal/obs"
 	"fpgasat/internal/robust"
 	"fpgasat/internal/sat"
+	"fpgasat/internal/share"
 )
 
 // Robustness metric names emitted by RunHardened (and by RunMinWidth
@@ -41,6 +42,20 @@ const (
 	// MetricAbandoned counts lanes that stayed unresponsive one full
 	// LaneTimeout past cancellation and were abandoned by the watchdog.
 	MetricAbandoned = "robust.watchdog.abandoned"
+	// MetricPoolOversized counts solvers the lane pool dropped instead
+	// of retaining because their footprint exceeded the pool cap.
+	MetricPoolOversized = "sat.reset.oversized"
+)
+
+// Clause-sharing metric names emitted by RunHardened when Options.Share
+// is set, mirroring share.Stats.
+const (
+	MetricShareExported   = "portfolio.share.exported"
+	MetricShareFiltered   = "portfolio.share.filtered"
+	MetricShareDuplicates = "portfolio.share.duplicates"
+	MetricShareDropped    = "portfolio.share.dropped"
+	MetricShareImported   = "portfolio.share.imported"
+	MetricShareRejected   = "portfolio.share.rejected"
 )
 
 // Options configures a hardened portfolio run. The zero value
@@ -81,6 +96,31 @@ type Options struct {
 	// RetrySchedule escalates Solver.ConflictBudget across retry
 	// attempts (geometric doubling by default, or Luby).
 	RetrySchedule robust.RetrySchedule
+	// Seed, when non-zero, makes lane behaviour replayable and
+	// diversified: lane i's attempt a runs its solver with a
+	// sat.Options.Seed derived from (Seed, i, a), and the clause
+	// exchange's import schedule derives from the same seed. When Share
+	// is set and Seed is 0, an effective seed of 1 is used — replicated
+	// lanes of one strategy must not retrace identical trajectories, or
+	// there is nothing to share.
+	Seed int64
+	// Share, when non-nil, connects lanes through a bounded
+	// learnt-clause exchange (see internal/share). Clauses flow only
+	// between lanes running the same strategy — different strategies
+	// encode into different variable spaces — so a heterogeneous
+	// portfolio shares within its same-strategy subsets; use Replicate
+	// to build a same-strategy lane set worth sharing across. Lanes
+	// whose strategy appears once run unhooked at zero overhead.
+	// Share.Seed defaults to the run's effective Seed.
+	Share *share.Options
+}
+
+// laneSetup carries a lane's identity-derived configuration: its
+// solver seed base and its port into the clause exchange (nil when
+// sharing is off or the lane has no same-strategy peer).
+type laneSetup struct {
+	seed  int64
+	share *share.Lane
 }
 
 // RunHardened is RunPooled with the full supervision layer: panic
@@ -96,6 +136,41 @@ func RunHardened(ctx context.Context, g *graph.Graph, k int, strategies []core.S
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	seed := opts.Seed
+	lanes := make([]laneSetup, len(strategies))
+	var ex *share.Exchange
+	if opts.Share != nil {
+		if seed == 0 {
+			seed = 1
+		}
+		so := *opts.Share
+		if so.Seed == 0 {
+			so.Seed = seed
+		}
+		groups := make([]string, len(strategies))
+		for i, s := range strategies {
+			groups[i] = s.Name()
+		}
+		ex = share.NewExchange(groups, so)
+		defer ex.Close()
+		// Unblock deterministic-mode waiters the moment the run is
+		// decided or the caller cancels, not when the last lane exits.
+		go func() {
+			<-runCtx.Done()
+			ex.Close()
+		}()
+		for i := range strategies {
+			if l := ex.Lane(i); l.Peers() > 0 {
+				lanes[i].share = l
+			}
+		}
+	}
+	if seed != 0 {
+		for i := range lanes {
+			lanes[i].seed = share.MixSeed(seed, int64(i))
+		}
+	}
+
 	type laneOut struct {
 		i   int
 		res Result
@@ -105,7 +180,7 @@ func RunHardened(ctx context.Context, g *graph.Graph, k int, strategies []core.S
 	ch := make(chan laneOut, len(strategies))
 	for i, s := range strategies {
 		go func(i int, s core.Strategy) {
-			res := runLane(runCtx, g, k, s, opts)
+			res := runLane(runCtx, g, k, s, opts, lanes[i])
 			if res.Err == nil && res.Status != sat.Unknown {
 				cancel() // first definite answer terminates the rest
 			}
@@ -118,6 +193,15 @@ func RunHardened(ctx context.Context, g *graph.Graph, k int, strategies []core.S
 	remaining := len(strategies)
 	var grace *time.Timer
 	var graceC <-chan time.Time
+	// The watchdog timer is armed inside the collect loop; stopping it
+	// here (rather than after the loop) covers every exit path — early
+	// returns below and any future ones — so fast runs never strand a
+	// live timer.
+	defer func() {
+		if grace != nil {
+			grace.Stop()
+		}
+	}()
 collect:
 	for remaining > 0 {
 		doneC := runCtx.Done()
@@ -152,16 +236,25 @@ collect:
 			break collect
 		}
 	}
-	if grace != nil {
-		grace.Stop()
-	}
-
 	if opts.Metrics != nil && opts.Pool != nil {
 		ps := opts.Pool.Stats()
 		opts.Metrics.Gauge(MetricPoolGets).Set(ps.Gets)
 		opts.Metrics.Gauge(MetricPoolReuses).Set(ps.Reuses)
 		opts.Metrics.Gauge(MetricArenaWords).Set(ps.ArenaWords)
 		opts.Metrics.Gauge(MetricArenaCap).Set(ps.ArenaCapWords)
+		opts.Metrics.Gauge(MetricPoolOversized).Set(ps.Oversized)
+	}
+	if ex != nil && opts.Metrics != nil {
+		// Sampled at decision time: lanes still draining after an early
+		// break are not waited for, the counters reflect the exchange
+		// activity that could have influenced this answer.
+		ss := ex.Stats()
+		opts.Metrics.Counter(MetricShareExported).Add(ss.Exported)
+		opts.Metrics.Counter(MetricShareFiltered).Add(ss.Filtered)
+		opts.Metrics.Counter(MetricShareDuplicates).Add(ss.Duplicates)
+		opts.Metrics.Counter(MetricShareDropped).Add(ss.Dropped)
+		opts.Metrics.Counter(MetricShareImported).Add(ss.Imported)
+		opts.Metrics.Counter(MetricShareRejected).Add(ss.Rejected)
 	}
 
 	// A caught soundness violation must fail the run loudly — masking
@@ -199,13 +292,27 @@ collect:
 // An attempt that ends Unknown with the parent context still live —
 // an exhausted conflict budget or an expired per-attempt watchdog —
 // is retried with an escalated budget, up to opts.MaxRetries times.
-func runLane(ctx context.Context, g *graph.Graph, k int, s core.Strategy, opts Options) Result {
+func runLane(ctx context.Context, g *graph.Graph, k int, s core.Strategy, opts Options, lane laneSetup) Result {
+	if lane.share != nil {
+		// A closed lane publishes its remaining clauses and releases any
+		// deterministic-mode peer waiting on its next round, whether this
+		// lane answered, was cancelled, or exhausted its retries.
+		defer lane.share.Close()
+	}
 	base := opts.Solver.ConflictBudget
 	var res Result
 	for attempt := 0; ; attempt++ {
 		solverOpts := opts.Solver
 		if base > 0 {
 			solverOpts.ConflictBudget = opts.RetrySchedule.Budget(base, attempt)
+		}
+		if lane.seed != 0 {
+			// Re-derive per attempt so a retried lane does not retrace the
+			// trajectory that just exhausted its budget.
+			solverOpts.Seed = share.MixSeed(lane.seed, int64(attempt))
+		}
+		if lane.share != nil {
+			solverOpts.Exchange = lane.share
 		}
 		attemptCtx := ctx
 		var cancelAttempt context.CancelFunc

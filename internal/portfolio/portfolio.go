@@ -208,6 +208,23 @@ func PaperPortfolio2() ([]core.Strategy, error) {
 	return ss[:2], nil
 }
 
+// Replicate expands each strategy into n copies, interleaved so a
+// truncated prefix stays balanced. The copies are identical strategy
+// values: under a hardened run with a Seed they diversify through
+// per-lane solver seeds, and with sharing enabled they form one
+// clause-exchange group — the configuration where a cooperating
+// portfolio beats a blind race of the same lanes.
+func Replicate(strategies []core.Strategy, n int) []core.Strategy {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]core.Strategy, 0, len(strategies)*n)
+	for i := 0; i < n; i++ {
+		out = append(out, strategies...)
+	}
+	return out
+}
+
 // Must unwraps a (strategies, error) pair, panicking on error — for
 // examples and tests where the specs are compile-time constants:
 //

@@ -32,6 +32,15 @@ const (
 	// FPSessionSolve fires at the start of every facade Session solve
 	// with (op string).
 	FPSessionSolve = "session.solve"
+	// FPShareExport fires at the start of every clause-exchange restart
+	// boundary, before the lane publishes its buffered learnt clauses,
+	// with (laneID int, group string). Panicking here simulates a lane
+	// crashing mid-export.
+	FPShareExport = "share.export"
+	// FPShareImport fires for every foreign clause about to be imported,
+	// with (laneID int, lits *[]sat.Lit) — mutating the slice simulates
+	// a corrupted shared clause in flight.
+	FPShareImport = "share.import"
 )
 
 // SetFailpoint installs (or replaces) the handler of a named

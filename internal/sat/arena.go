@@ -178,6 +178,11 @@ type ArenaStats struct {
 	// Words is the arena length (live + garbage), CapWords its backing
 	// capacity, WastedWords the garbage portion awaiting compaction.
 	Words, CapWords, WastedWords int
+	// WatchCapWords is the total backing capacity of the per-literal
+	// watch lists in 4-byte words (a watch entry is two words). Together
+	// with CapWords it approximates the memory a pooled solver retains
+	// for its next use — the quantity Pool.MaxRetainedWords caps.
+	WatchCapWords int
 	// Clauses and Learnts count the live problem and learnt clauses.
 	Clauses, Learnts int
 	// Collections and FreedWords count compactions and reclaimed words
@@ -187,13 +192,18 @@ type ArenaStats struct {
 
 // ArenaStats returns the current clause-arena statistics.
 func (s *Solver) ArenaStats() ArenaStats {
+	watchCap := 0
+	for i := range s.watches {
+		watchCap += cap(s.watches[i]) * 2
+	}
 	return ArenaStats{
-		Words:       len(s.ca.data),
-		CapWords:    cap(s.ca.data),
-		WastedWords: s.ca.wasted,
-		Clauses:     len(s.clauses),
-		Learnts:     len(s.learnts),
-		Collections: s.ca.collections,
-		FreedWords:  s.ca.freedWords,
+		Words:         len(s.ca.data),
+		CapWords:      cap(s.ca.data),
+		WastedWords:   s.ca.wasted,
+		WatchCapWords: watchCap,
+		Clauses:       len(s.clauses),
+		Learnts:       len(s.learnts),
+		Collections:   s.ca.collections,
+		FreedWords:    s.ca.freedWords,
 	}
 }

@@ -1,0 +1,170 @@
+package sat
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fakeExchange is a scripted ClauseExchange: deliver is invoked at
+// every restart boundary with the round number (1-based) and the add
+// callback; learnt offers are counted.
+type fakeExchange struct {
+	offered int
+	rounds  int
+	deliver func(round int, add func([]Lit, int32) bool)
+}
+
+func (f *fakeExchange) Learnt(lits []Lit, lbd int32) { f.offered++ }
+
+func (f *fakeExchange) Restart(add func([]Lit, int32) bool) {
+	f.rounds++
+	if f.deliver != nil {
+		f.deliver(f.rounds, add)
+	}
+}
+
+func loadPHPInto(s *Solver, pigeons, holes int) {
+	c := php(pigeons, holes)
+	for _, cl := range c.Clauses {
+		s.AddDimacsClause(cl...)
+	}
+}
+
+// TestExchangeLearntOffersAndRestartRounds pins the hook contract: the
+// solver offers every learnt clause and calls Restart once per restart
+// boundary.
+func TestExchangeLearntOffersAndRestartRounds(t *testing.T) {
+	f := &fakeExchange{}
+	s := New(Options{RestartBase: 1, Exchange: f})
+	loadPHPInto(s, 7, 6)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(7,6): got %v, want Unsat", st)
+	}
+	if f.offered == 0 {
+		t.Fatal("no learnt clauses offered to the exchange")
+	}
+	if int64(f.rounds) != s.Stats.Restarts {
+		t.Fatalf("Restart called %d times, solver restarted %d times", f.rounds, s.Stats.Restarts)
+	}
+}
+
+// TestTrustedImportRefutation: without a proof writer the exchange is
+// trusted, so importing a unit and then its negation refutes the
+// database at the first restart boundary instead of paying for the
+// full refutation.
+func TestTrustedImportRefutation(t *testing.T) {
+	f := &fakeExchange{}
+	f.deliver = func(round int, add func([]Lit, int32) bool) {
+		if round != 1 {
+			return
+		}
+		if !add([]Lit{LitFromDimacs(1)}, 1) {
+			t.Error("unit import rejected")
+		}
+		if !add([]Lit{LitFromDimacs(-1)}, 1) {
+			t.Error("refuting import not accepted")
+		}
+	}
+	s := New(Options{RestartBase: 1, Exchange: f})
+	loadPHPInto(s, 7, 6)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat", st)
+	}
+	if f.rounds != 1 {
+		t.Fatalf("refutation took %d rounds, want 1 (import shortcut not taken)", f.rounds)
+	}
+	if s.Stats.Imported != 2 {
+		t.Fatalf("Stats.Imported = %d, want 2", s.Stats.Imported)
+	}
+}
+
+// TestImportRejectsForeignAndSatisfied: clauses over unknown variables
+// (a different formula's variable space) and clauses already satisfied
+// at level 0 must be declined.
+func TestImportRejectsForeignAndSatisfied(t *testing.T) {
+	f := &fakeExchange{}
+	f.deliver = func(round int, add func([]Lit, int32) bool) {
+		if round != 1 {
+			return
+		}
+		if add([]Lit{LitFromDimacs(5000)}, 1) {
+			t.Error("clause over an unknown variable accepted")
+		}
+		if !add([]Lit{LitFromDimacs(1)}, 1) {
+			t.Error("fresh unit rejected")
+		}
+		if add([]Lit{LitFromDimacs(1), LitFromDimacs(2)}, 1) {
+			t.Error("clause satisfied at level 0 accepted")
+		}
+	}
+	s := New(Options{RestartBase: 1, Exchange: f})
+	loadPHPInto(s, 7, 6)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat", st)
+	}
+}
+
+// TestProofModeRUPGateKeepsCertificateValid: in proof mode an import
+// is admitted only when it is RUP against the importer's database, so
+// the resulting DRAT certificate must check out even though foreign
+// clauses were injected mid-solve.
+func TestProofModeRUPGateKeepsCertificateValid(t *testing.T) {
+	cnf := php(7, 6)
+	var proof bytes.Buffer
+	f := &fakeExchange{}
+	f.deliver = func(round int, add func([]Lit, int32) bool) {
+		if round != 1 {
+			return
+		}
+		// Not RUP at round 1: nothing propagates from assuming pigeon 0
+		// out of hole 0 (its at-least-one clause still has 5 open
+		// literals), so the unit must be rejected rather than logged.
+		if add([]Lit{LitFromDimacs(1)}, 1) {
+			t.Error("non-RUP unit admitted in proof mode")
+		}
+		// RUP (it is an original clause: assuming both literals false
+		// falsifies it directly), so it may be admitted and logged.
+		if !add([]Lit{LitFromDimacs(-1), LitFromDimacs(-7)}, 2) {
+			t.Error("RUP clause rejected in proof mode")
+		}
+	}
+	s := New(Options{RestartBase: 1, ProofWriter: &proof, Exchange: f})
+	loadPHPInto(s, 7, 6)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat", st)
+	}
+	if s.Stats.Imported == 0 {
+		t.Fatal("RUP import not counted")
+	}
+	if err := CheckDRAT(cnf, bytes.NewReader(proof.Bytes())); err != nil {
+		t.Fatalf("DRAT certificate with imported lemma rejected: %v", err)
+	}
+}
+
+// TestSeedDiversifiesAndReplays: distinct seeds must change the search
+// trajectory; an identical seed must reproduce it exactly.
+func TestSeedDiversifiesAndReplays(t *testing.T) {
+	run := func(seed int64) Stats {
+		s := New(Options{Seed: seed})
+		loadPHPInto(s, 7, 6)
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("seed %d: got %v, want Unsat", seed, st)
+		}
+		return s.Stats
+	}
+	a, b, c := run(1), run(2), run(3)
+	if a == b && b == c {
+		t.Fatalf("three seeds, identical statistics %+v; seeding has no effect", a)
+	}
+	if again := run(1); again != a {
+		t.Fatalf("seed 1 replay differs:\n  %+v\n  %+v", a, again)
+	}
+	base := New(Options{})
+	loadPHPInto(base, 7, 6)
+	if st := base.Solve(); st != Unsat {
+		t.Fatalf("unseeded: got %v, want Unsat", st)
+	}
+	if base.Stats == a && base.Stats == b {
+		t.Fatal("seeded runs indistinguishable from the unseeded baseline")
+	}
+}

@@ -16,6 +16,15 @@ import (
 // no other goroutine can still call Stop on it (join any cancellation
 // watcher first — see SolveAssumingContext for the pattern).
 type Pool struct {
+	// MaxRetainedWords caps the footprint a solver may retain to be
+	// pooled: a solver whose clause-arena capacity plus watch-list
+	// capacity (in 4-byte words, see ArenaStats) exceeds the cap is
+	// dropped by Put instead of recycled, so one huge instance in a
+	// mixed-size workload cannot permanently bloat every later borrower.
+	// 0 selects DefaultMaxRetainedWords; a negative value disables the
+	// cap. Set it before the pool is first used.
+	MaxRetainedWords int
+
 	p sync.Pool
 
 	gets        atomic.Int64
@@ -24,7 +33,13 @@ type Pool struct {
 	freedWords  atomic.Int64
 	arenaWords  atomic.Int64
 	arenaCap    atomic.Int64
+	oversized   atomic.Int64
 }
+
+// DefaultMaxRetainedWords is the retained-footprint cap applied when
+// Pool.MaxRetainedWords is zero: 8M words (32 MiB), room for every
+// Table-2 instance while still shedding pathological outliers.
+const DefaultMaxRetainedWords = 1 << 23
 
 // Get returns a solver reset and configured with opts. The solver is
 // either a reused instance (retaining allocated capacity) or freshly
@@ -40,7 +55,9 @@ func (p *Pool) Get(opts Options) *Solver {
 }
 
 // Put returns a solver to the pool for reuse and folds its arena
-// statistics into the pool's counters. The caller must not use the
+// statistics into the pool's counters. A solver whose retained
+// footprint exceeds MaxRetainedWords is dropped (counted in
+// PoolStats.Oversized) rather than pooled. The caller must not use the
 // solver afterwards, and no goroutine may still hold a Stop reference
 // to it.
 func (p *Pool) Put(s *Solver) {
@@ -52,6 +69,14 @@ func (p *Pool) Put(s *Solver) {
 	p.freedWords.Add(st.FreedWords)
 	p.arenaWords.Store(int64(st.Words))
 	p.arenaCap.Store(int64(st.CapWords))
+	limit := p.MaxRetainedWords
+	if limit == 0 {
+		limit = DefaultMaxRetainedWords
+	}
+	if limit > 0 && st.CapWords+st.WatchCapWords > limit {
+		p.oversized.Add(1)
+		return
+	}
 	p.p.Put(s)
 }
 
@@ -68,6 +93,9 @@ type PoolStats struct {
 	// the most recently returned solver — a sample of how much clause
 	// storage a pooled solver retains for its next use.
 	ArenaWords, ArenaCapWords int64
+	// Oversized counts solvers dropped by Put because their retained
+	// footprint exceeded MaxRetainedWords.
+	Oversized int64
 }
 
 // Stats returns a snapshot of the pool counters. It is safe to call
@@ -80,5 +108,6 @@ func (p *Pool) Stats() PoolStats {
 		FreedWords:    p.freedWords.Load(),
 		ArenaWords:    p.arenaWords.Load(),
 		ArenaCapWords: p.arenaCap.Load(),
+		Oversized:     p.oversized.Load(),
 	}
 }

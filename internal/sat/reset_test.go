@@ -167,3 +167,38 @@ func TestPoolConcurrent(t *testing.T) {
 		t.Fatal("pool never reused a solver")
 	}
 }
+
+// TestPoolDropsOversizedSolvers: a solver whose retained footprint
+// exceeds MaxRetainedWords must be dropped by Put (and counted) so one
+// huge instance cannot bloat every later borrower, while a pool with
+// the cap disabled keeps recycling it.
+func TestPoolDropsOversizedSolvers(t *testing.T) {
+	capped := Pool{MaxRetainedWords: 64}
+	s := capped.Get(Options{})
+	s.Load(php(6, 5))
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("php(6,5) = %v, want Unsat", st)
+	}
+	if st := s.ArenaStats(); st.CapWords+st.WatchCapWords <= 64 {
+		t.Fatalf("test premise broken: footprint %d words fits the 64-word cap", st.CapWords+st.WatchCapWords)
+	}
+	capped.Put(s)
+	if st := capped.Stats(); st.Oversized != 1 {
+		t.Fatalf("Oversized = %d, want 1", st.Oversized)
+	}
+	capped.Get(Options{})
+	if st := capped.Stats(); st.Reuses != 0 {
+		t.Fatalf("pool served a dropped solver: Reuses = %d", st.Reuses)
+	}
+
+	uncapped := Pool{MaxRetainedWords: -1}
+	s2 := uncapped.Get(Options{})
+	s2.Load(php(6, 5))
+	if st := s2.Solve(); st != Unsat {
+		t.Fatalf("php(6,5) = %v, want Unsat", st)
+	}
+	uncapped.Put(s2)
+	if st := uncapped.Stats(); st.Oversized != 0 {
+		t.Fatalf("cap disabled but Oversized = %d", st.Oversized)
+	}
+}

@@ -26,6 +26,7 @@ type Stats struct {
 	Restarts     int64
 	Learnt       int64 // learnt clauses added
 	Removed      int64 // learnt clauses deleted by reduceDB
+	Imported     int64 // foreign clauses integrated from a ClauseExchange
 	MaxTrail     int   // deepest trail seen
 	// LearntDB and TrailDepth are point-in-time values filled in for
 	// Progress snapshots: the current learnt-clause database size and
@@ -77,6 +78,18 @@ type Options struct {
 	// solving goroutine and must return promptly; it must not call back
 	// into the Solver except for Stop.
 	Progress func(Stats)
+	// Seed, when non-zero, diversifies the search trajectory: initial
+	// branching polarities and a tiny variable-activity jitter are drawn
+	// from the seed, so identically configured solvers on the same
+	// formula explore different parts of the search space. Runs with the
+	// same seed are replayable. Seed 0 keeps the deterministic MiniSat
+	// defaults (InitialPhase everywhere, zero initial activity).
+	Seed int64
+	// Exchange, when non-nil, connects the solver to a learnt-clause
+	// exchange (see internal/share): learnt clauses are offered as they
+	// are derived and foreign clauses are imported at restart
+	// boundaries. See ClauseExchange for the contract.
+	Exchange ClauseExchange
 }
 
 // Profile is a named solver configuration. The paper compared two
@@ -150,6 +163,7 @@ type Solver struct {
 	litBuf    []Lit
 	learntBuf []Lit
 	proofBuf  []Lit
+	importBuf []Lit
 
 	ok      bool // false once an empty clause is derived at level 0
 	stopped atomic.Bool
@@ -261,11 +275,24 @@ func (s *Solver) reset(opts Options) {
 // NewVar introduces a fresh variable and returns it.
 func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
+	phase := s.opts.InitialPhase
+	act := 0.0
+	if s.opts.Seed != 0 {
+		// Seeded diversification: the polarity and a sub-unit activity
+		// jitter are a pure function of (seed, variable), so a seeded run
+		// replays exactly while distinct seeds branch differently from
+		// the first decision on. The jitter stays below the first
+		// conflict's activity bump, so VSIDS ordering under conflicts is
+		// unaffected; it only breaks ties among never-bumped variables.
+		h := splitmix64(uint64(s.opts.Seed) ^ splitmix64(uint64(v)+0x9e3779b97f4a7c15))
+		phase = h&1 == 1
+		act = float64(h>>40) / float64(int64(1)<<24) * 1e-3
+	}
 	s.assigns = append(s.assigns, lUndef)
-	s.polarity = append(s.polarity, s.opts.InitialPhase)
+	s.polarity = append(s.polarity, phase)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, RefUndef)
-	s.activity = append(s.activity, 0)
+	s.activity = append(s.activity, act)
 	s.seen = append(s.seen, 0)
 	// Re-expose retained inner watch lists by reslicing when a Reset
 	// left capacity behind; appending nil would orphan them.
@@ -748,13 +775,20 @@ func (s *Solver) search(nofConflicts int64) Status {
 			}
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], RefUndef)
+				if s.opts.Exchange != nil {
+					s.opts.Exchange.Learnt(learnt, 1)
+				}
 			} else {
-				ref := s.ca.alloc(learnt, true, s.computeLBD(learnt))
+				lbd := s.computeLBD(learnt)
+				ref := s.ca.alloc(learnt, true, lbd)
 				s.learnts = append(s.learnts, ref)
 				s.attach(ref)
 				s.claBumpActivity(ref)
 				s.uncheckedEnqueue(learnt[0], ref)
 				s.Stats.Learnt++
+				if s.opts.Exchange != nil {
+					s.opts.Exchange.Learnt(learnt, lbd)
+				}
 			}
 			s.varDecayActivity()
 			s.claDecayActivity()
@@ -897,6 +931,14 @@ func (s *Solver) solveWith(assumps []Lit) Status {
 		// deletion threshold must not drift past the configured cap.
 		if lim := s.opts.LearntLimit; lim > 0 && s.maxLearnts > float64(lim) {
 			s.maxLearnts = float64(lim)
+		}
+		// Restart boundary: publish buffered learnt clauses and import
+		// foreign ones. Guarded against the cancelled-search path, which
+		// is the one way search returns Unknown above decision level 0.
+		if s.opts.Exchange != nil && !s.stopped.Load() && s.decisionLevel() == 0 {
+			if !s.exchangeAtRestart() {
+				return Unsat
+			}
 		}
 		if s.opts.Progress != nil {
 			s.opts.Progress(s.snapshotStats())

@@ -57,12 +57,16 @@ func TestMinWidthIsolatesProbePanic(t *testing.T) {
 }
 
 // TestMinWidthReturnsSolverOnHealthyPath pins the counterpart: an
-// error-free search recycles its solver, so the next search reuses it.
+// error-free search recycles its solver, so later searches reuse it.
+// Under the race detector sync.Pool deliberately drops 1 in 4 Puts
+// (and the pool may also come up empty after GC), so run enough
+// searches that at least one reuse is overwhelmingly likely instead
+// of demanding the very next Get hits.
 func TestMinWidthReturnsSolverOnHealthyPath(t *testing.T) {
 	s := mustStrategy(t, "ITE-linear-2+muldirect/s1")
 	var pool sat.Pool
 	g := graph.Complete(4)
-	for i := 0; i < 2; i++ {
+	for i := 0; i < 10; i++ {
 		res, err := search.MinWidth(context.Background(), g, search.Options{
 			Strategy: s,
 			Hi:       5,

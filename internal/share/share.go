@@ -1,0 +1,465 @@
+// Package share implements a bounded learnt-clause exchange between
+// the solvers of a parallel portfolio — the HordeSat-style cooperation
+// layer that turns racing lanes into cooperating ones. Each lane owns
+// a fixed-size ring of exported clauses; peers read the rings with
+// private cursors, so exporters never block and a slow importer loses
+// old clauses (counted, never waited for) instead of stalling the
+// group.
+//
+// Clauses only make sense inside one variable space. Different
+// encoding strategies allocate entirely different CNF variables for
+// the same routing instance, so an exchange partitions its lanes into
+// groups — in the portfolio, lanes of the same strategy name — and
+// clauses flow strictly within a group. Diversification inside a group
+// comes from per-lane solver seeds (sat.Options.Seed), not from
+// varying the formula.
+//
+// Exports are filtered at the source (LBD and size bounds, default
+// LBD ≤ 4 and ≤ 8 literals) and deduplicated by a commutative
+// literal-set hash, which also stops a clause from ping-ponging: a
+// lane that imported a clause will neither re-export it after learning
+// it organically nor import it again from another peer.
+//
+// Deterministic replay mode trades the racing latency for a lockstep
+// round structure: a lane's r-th restart exchanges exactly against its
+// peers' first r export rounds, and import order follows a seeded
+// per-lane schedule, so a run is a pure function of the formula and
+// the seeds — the property the determinism and DRAT-replay tests rest
+// on.
+package share
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"fpgasat/internal/robust"
+	"fpgasat/internal/sat"
+)
+
+// MaxShareableSize is the hard cap on the length of an exchanged
+// clause; Options.MaxSize is clamped to it. Ring entries are
+// fixed-size records so a lane's ring is one flat allocation.
+const MaxShareableSize = 16
+
+// maxSeenFingerprints bounds a lane's dedup set; when full it is
+// discarded and restarted, trading occasional re-exports for bounded
+// memory.
+const maxSeenFingerprints = 1 << 16
+
+// Options configure an Exchange. The zero value selects the defaults.
+type Options struct {
+	// MaxLBD admits only learnt clauses whose literal-block distance is
+	// at most this bound (default 4): low-LBD "glue" clauses are the
+	// ones worth shipping to peers.
+	MaxLBD int32
+	// MaxSize admits only clauses with at most this many literals
+	// (default 8, clamped to MaxShareableSize).
+	MaxSize int
+	// RingSize is the per-lane export ring capacity in clauses (default
+	// 256). Overwritten-before-read entries are counted as Dropped.
+	RingSize int
+	// ImportBudget bounds the clauses a lane imports per restart
+	// boundary (default 64). Deterministic mode ignores it — replay
+	// requires consuming every visible clause.
+	ImportBudget int
+	// Seed drives the per-lane import schedules (the order peers are
+	// visited). Two runs with the same seed and Deterministic set replay
+	// identically.
+	Seed int64
+	// Deterministic enables replay mode: lanes advance through lockstep
+	// export rounds, so a lane's r-th import sees exactly the entries
+	// its peers published in their first r rounds. Costs a barrier wait
+	// per restart; leave it off when racing for wall-clock.
+	Deterministic bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLBD <= 0 {
+		o.MaxLBD = 4
+	}
+	if o.MaxSize <= 0 {
+		o.MaxSize = 8
+	}
+	if o.MaxSize > MaxShareableSize {
+		o.MaxSize = MaxShareableSize
+	}
+	if o.RingSize <= 0 {
+		o.RingSize = 256
+	}
+	if o.ImportBudget <= 0 {
+		o.ImportBudget = 64
+	}
+	return o
+}
+
+// Stats is a point-in-time view of exchange activity, the raw material
+// of the portfolio.share.* counters.
+type Stats struct {
+	// Exported counts clauses published to a ring; Filtered counts
+	// learnt clauses the LBD/size filter rejected at the source.
+	Exported, Filtered int64
+	// Duplicates counts dedup hits — clauses already exported or
+	// imported by the same lane.
+	Duplicates int64
+	// Dropped counts ring entries overwritten before an importer read
+	// them, plus deterministic-mode entries shed by the per-round
+	// publish clamp.
+	Dropped int64
+	// Imported counts foreign clauses accepted by importing solvers;
+	// Rejected counts the ones the solver declined (satisfied, unknown
+	// variables, or — in proof mode — not RUP at import time).
+	Imported, Rejected int64
+}
+
+// entry is one exported clause as stored in a ring.
+type entry struct {
+	n    int32
+	lbd  int32
+	lits [MaxShareableSize]sat.Lit
+}
+
+// Exchange is a clause exchange for a fixed set of lanes. Create one
+// per portfolio run with NewExchange, hand Lane(i) to lane i's solver
+// as its sat.Options.Exchange, and Close it once the run is decided so
+// deterministic-mode waiters unblock.
+type Exchange struct {
+	opts Options
+
+	exported   atomic.Int64
+	filtered   atomic.Int64
+	duplicates atomic.Int64
+	dropped    atomic.Int64
+	imported   atomic.Int64
+	rejected   atomic.Int64
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	lanes  []*Lane
+}
+
+// NewExchange builds an exchange for len(groups) lanes. groups[i]
+// names lane i's sharing group — in the portfolio, the strategy name —
+// and clauses flow only between lanes of the same group: different
+// strategies encode into different variable spaces, where a foreign
+// clause would be meaningless at best and unsound at worst.
+func NewExchange(groups []string, opts Options) *Exchange {
+	opts = opts.withDefaults()
+	e := &Exchange{opts: opts}
+	e.cond = sync.NewCond(&e.mu)
+	e.lanes = make([]*Lane, len(groups))
+	for i, g := range groups {
+		e.lanes[i] = &Lane{
+			ex:    e,
+			id:    i,
+			group: g,
+			ring:  make([]entry, opts.RingSize),
+			seen:  make(map[uint64]struct{}),
+			rng:   rand.New(rand.NewSource(MixSeed(opts.Seed, int64(i)))),
+		}
+	}
+	for _, l := range e.lanes {
+		for _, p := range e.lanes {
+			if p.id != l.id && p.group == l.group {
+				l.peers = append(l.peers, p)
+			}
+		}
+		l.cursors = make([]int, len(l.peers))
+	}
+	return e
+}
+
+// Lane returns lane i's port into the exchange.
+func (e *Exchange) Lane(i int) *Lane { return e.lanes[i] }
+
+// Close releases the exchange: deterministic-mode waiters wake and no
+// further imports are served. It is idempotent and safe to call
+// concurrently with lane activity; the portfolio closes the exchange
+// as soon as the run is decided or cancelled.
+func (e *Exchange) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// Stats returns a snapshot of the exchange counters. Safe to call at
+// any time.
+func (e *Exchange) Stats() Stats {
+	return Stats{
+		Exported:   e.exported.Load(),
+		Filtered:   e.filtered.Load(),
+		Duplicates: e.duplicates.Load(),
+		Dropped:    e.dropped.Load(),
+		Imported:   e.imported.Load(),
+		Rejected:   e.rejected.Load(),
+	}
+}
+
+// Lane is one solver's port into the exchange; it implements
+// sat.ClauseExchange. All methods except the Exchange's Close must be
+// called from the lane's own solving goroutine.
+type Lane struct {
+	ex      *Exchange
+	id      int
+	group   string
+	peers   []*Lane
+	cursors []int // per-peer count of entries consumed, parallel to peers
+	rng     *rand.Rand
+
+	// Owner-goroutine state.
+	pending []entry
+	seen    map[uint64]struct{}
+	batch   []entry
+	scratch []sat.Lit
+
+	// Guarded by ex.mu.
+	ring   []entry
+	head   int   // total entries ever published to the ring
+	marks  []int // head value after each completed export round
+	closed bool
+}
+
+// ID returns the lane's index in the exchange.
+func (l *Lane) ID() int { return l.id }
+
+// Group returns the lane's sharing-group name.
+func (l *Lane) Group() string { return l.group }
+
+// Peers returns how many lanes share this lane's group. A lane with no
+// peers has nothing to exchange with; the portfolio skips hooking such
+// lanes into their solvers entirely.
+func (l *Lane) Peers() int { return len(l.peers) }
+
+// Learnt implements sat.ClauseExchange: filter, dedup and buffer a
+// just-learnt clause for publication at the next restart boundary.
+// Runs on the solver's hot path, so it is allocation-free past the
+// dedup map.
+func (l *Lane) Learnt(lits []sat.Lit, lbd int32) {
+	o := &l.ex.opts
+	if len(lits) == 0 || len(lits) > o.MaxSize || lbd > o.MaxLBD {
+		l.ex.filtered.Add(1)
+		return
+	}
+	fp := fingerprint(lits)
+	if _, ok := l.seen[fp]; ok {
+		l.ex.duplicates.Add(1)
+		return
+	}
+	l.remember(fp)
+	var e entry
+	e.n = int32(len(lits))
+	e.lbd = lbd
+	copy(e.lits[:], lits)
+	l.pending = append(l.pending, e)
+}
+
+// Restart implements sat.ClauseExchange: publish the buffered clauses
+// as one export round, then import from the peer rings through add.
+func (l *Lane) Restart(add func(lits []sat.Lit, lbd int32) bool) {
+	robust.Hit(robust.FPShareExport, l.id, l.group)
+	round := l.publish()
+	if len(l.peers) == 0 {
+		return
+	}
+	if l.ex.opts.Deterministic {
+		l.ex.waitRound(l, round)
+	}
+	l.importBatch(add, round)
+}
+
+// Close marks the lane finished: remaining buffered clauses are
+// published so peers can still use them, and deterministic-mode peers
+// stop waiting for this lane's rounds. Idempotent.
+//
+// In deterministic mode the final flush is skipped (the leftovers are
+// counted as Dropped): whether a peer observes the flush would depend
+// on scheduling, while the lane's completed rounds are a deterministic
+// function of the formula and seeds — exactly the visibility replay
+// needs.
+func (l *Lane) Close() {
+	ex := l.ex
+	ex.mu.Lock()
+	if !l.closed {
+		if ex.opts.Deterministic {
+			ex.dropped.Add(int64(len(l.pending)))
+			l.pending = l.pending[:0]
+		} else {
+			l.publishLocked()
+		}
+		l.closed = true
+		ex.cond.Broadcast()
+	}
+	ex.mu.Unlock()
+}
+
+// publish moves the pending clauses into the lane's ring and completes
+// one export round, returning the round number just completed.
+func (l *Lane) publish() int {
+	ex := l.ex
+	ex.mu.Lock()
+	l.publishLocked()
+	l.marks = append(l.marks, l.head)
+	round := len(l.marks)
+	ex.cond.Broadcast()
+	ex.mu.Unlock()
+	return round
+}
+
+// publishLocked appends the pending entries to the ring. Caller holds
+// ex.mu. In deterministic mode a round is clamped to half the ring:
+// with lockstep guaranteeing peers are at most one round ahead, two
+// half-ring rounds can never overwrite entries a peer has yet to read,
+// which is what makes replay independent of scheduling.
+func (l *Lane) publishLocked() {
+	batch := l.pending
+	if l.ex.opts.Deterministic {
+		if max := len(l.ring) / 2; len(batch) > max {
+			l.ex.dropped.Add(int64(len(batch) - max))
+			batch = batch[:max]
+		}
+	}
+	for _, e := range batch {
+		l.ring[l.head%len(l.ring)] = e
+		l.head++
+	}
+	l.ex.exported.Add(int64(len(batch)))
+	l.pending = l.pending[:0]
+}
+
+// markAt returns the ring position visible to a peer importing at
+// round r — the lane's head after its own round r, or its final head
+// if it closed before reaching r. Caller holds ex.mu.
+func (l *Lane) markAt(r int) int {
+	if r <= len(l.marks) {
+		return l.marks[r-1]
+	}
+	return l.head
+}
+
+// waitRound blocks lane l until every peer has completed export round
+// r, closed, or the exchange closed — the lockstep barrier of
+// deterministic replay.
+func (ex *Exchange) waitRound(l *Lane, r int) {
+	ex.mu.Lock()
+	for _, p := range l.peers {
+		for len(p.marks) < r && !p.closed && !ex.closed {
+			ex.cond.Wait()
+		}
+	}
+	ex.mu.Unlock()
+}
+
+// importBatch copies importable peer entries out under the lock, then
+// delivers them to the solver through add outside it — add runs solver
+// code (and the FPShareImport failpoint) that must not execute while
+// holding the exchange mutex.
+func (l *Lane) importBatch(add func(lits []sat.Lit, lbd int32) bool, round int) {
+	ex := l.ex
+	det := ex.opts.Deterministic
+	budget := ex.opts.ImportBudget
+	l.batch = l.batch[:0]
+	var droppedN int64
+
+	ex.mu.Lock()
+	if ex.closed {
+		ex.mu.Unlock()
+		return
+	}
+	// Seeded import schedule: the peer visiting order rotates by a
+	// per-lane pseudo-random offset each round, so a bounded budget does
+	// not starve the same peer every restart.
+	start := 0
+	if len(l.peers) > 1 {
+		start = l.rng.Intn(len(l.peers))
+	}
+	for i := 0; i < len(l.peers); i++ {
+		if !det && budget <= 0 {
+			break
+		}
+		pi := (start + i) % len(l.peers)
+		p := l.peers[pi]
+		limit := p.head
+		if det {
+			limit = p.markAt(round)
+		}
+		cur := l.cursors[pi]
+		if lag := limit - len(p.ring); cur < lag {
+			droppedN += int64(lag - cur)
+			cur = lag
+		}
+		for cur < limit {
+			if !det && budget <= 0 {
+				break
+			}
+			l.batch = append(l.batch, p.ring[cur%len(p.ring)])
+			cur++
+			budget--
+		}
+		l.cursors[pi] = cur
+	}
+	ex.mu.Unlock()
+
+	if droppedN > 0 {
+		ex.dropped.Add(droppedN)
+	}
+	for i := range l.batch {
+		e := &l.batch[i]
+		lits := append(l.scratch[:0], e.lits[:e.n]...)
+		l.scratch = lits
+		fp := fingerprint(lits)
+		if _, ok := l.seen[fp]; ok {
+			ex.duplicates.Add(1)
+			continue
+		}
+		robust.Hit(robust.FPShareImport, l.id, &lits)
+		if add(lits, e.lbd) {
+			l.remember(fp)
+			ex.imported.Add(1)
+		} else {
+			ex.rejected.Add(1)
+		}
+	}
+}
+
+// remember adds a fingerprint to the lane's dedup set, restarting the
+// set when it reaches its size bound.
+func (l *Lane) remember(fp uint64) {
+	if len(l.seen) >= maxSeenFingerprints {
+		l.seen = make(map[uint64]struct{})
+	}
+	l.seen[fp] = struct{}{}
+}
+
+// fingerprint hashes a clause as a literal set: per-literal hashes are
+// combined commutatively, so two lanes that learnt the same clause
+// with different literal orders deduplicate against each other.
+func fingerprint(lits []sat.Lit) uint64 {
+	h := 0x9e3779b97f4a7c15 * uint64(len(lits)+1)
+	for _, l := range lits {
+		h += splitmix64(uint64(uint32(l)) + 0x632be59bd9b4e019)
+	}
+	return splitmix64(h)
+}
+
+// MixSeed derives an independent child seed from a base seed and a
+// salt (lane index, attempt number). It is the seed-splitting function
+// shared by the exchange and the portfolio's per-lane solver seeding;
+// the result is never zero, so derived sat.Options.Seed values never
+// accidentally disable diversification.
+func MixSeed(seed, salt int64) int64 {
+	m := splitmix64(uint64(seed) ^ splitmix64(uint64(salt)+0x9e3779b97f4a7c15))
+	if m == 0 {
+		m = 0x9e3779b97f4a7c15
+	}
+	return int64(m)
+}
+
+// splitmix64 is the SplitMix64 mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

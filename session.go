@@ -45,6 +45,9 @@ const (
 	// MetricPoolFreedWords accumulates the arena words reclaimed by
 	// garbage compaction across all pooled solvers.
 	MetricPoolFreedWords = "sat.arena.freed_words"
+	// MetricPoolOversized counts solvers the pool dropped instead of
+	// retaining because their footprint exceeded the pool cap.
+	MetricPoolOversized = "sat.reset.oversized"
 )
 
 // Session is a reusable solving context: one solver pool plus an
@@ -89,6 +92,7 @@ func (s *Session) recordPoolMetrics() {
 	s.metrics.Gauge(MetricArenaWords).Set(ps.ArenaWords)
 	s.metrics.Gauge(MetricArenaCapWords).Set(ps.ArenaCapWords)
 	s.metrics.Gauge(MetricPoolFreedWords).Set(ps.FreedWords)
+	s.metrics.Gauge(MetricPoolOversized).Set(ps.Oversized)
 }
 
 // SolveCNF solves a formula on a pooled solver with context-based
