@@ -14,6 +14,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"fpgasat"
@@ -53,15 +55,18 @@ func main() {
 		shareLanes = flag.Int("share-lanes", 2, "with -share: same-strategy lanes per run")
 		seed       = flag.Int64("seed", 1, "lane diversification seed for the -share study")
 		shareReps  = flag.Int("share-repeats", 1, "with -share: repeat each (instance, mode) run over seeds seed..seed+N-1 and sum wall clock")
-		benchOut   = flag.String("bench-out", "", "with -share: write the study as JSON to this file (BENCH_portfolio.json format)")
+		benchOut   = flag.String("bench-out", "", "with -share or -scale: write the study as JSON to this file (BENCH_portfolio.json / BENCH_scale.json format)")
+		scaleRun   = flag.Bool("scale", false, "scaling study: generate and encode tile-templated instances far beyond the MCNC suite")
+		scaleFacts = flag.String("scale-factors", "1,10,100", "with -scale: comma-separated scale multipliers")
+		scaleEnc   = flag.String("scale-encoding", "", "with -scale: encoding to stream (default ITE-linear-2+muldirect)")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *figure1, *table2, *routable, *portfolio = true, true, true, true, true
-		*sizes, *solvers, *trees, *symAbl, *baselines, *shareCmp = true, true, true, true, true, true
+		*sizes, *solvers, *trees, *symAbl, *baselines, *shareCmp, *scaleRun = true, true, true, true, true, true, true
 	}
 	if !*table1 && !*figure1 && !*table2 && !*routable && !*portfolio &&
-		!*sizes && !*solvers && !*trees && !*symAbl && !*baselines && !*shareCmp {
+		!*sizes && !*solvers && !*trees && !*symAbl && !*baselines && !*shareCmp && !*scaleRun {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -184,6 +189,41 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("wrote clause-sharing benchmark record to %s\n\n", *benchOut)
+		}
+	}
+	if *scaleRun {
+		var factors []int
+		for _, part := range strings.Split(*scaleFacts, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			f, err := strconv.Atoi(part)
+			if err != nil || f < 1 {
+				log.Fatalf("bad -scale-factors entry %q", part)
+			}
+			factors = append(factors, f)
+		}
+		r, err := experiments.RunScale(experiments.ScaleConfig{
+			Factors: factors, Encoding: *scaleEnc, Progress: progress,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Markdown())
+		if *benchOut != "" && !*shareCmp {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote scaling benchmark record to %s\n\n", *benchOut)
 		}
 	}
 	if *sizes {

@@ -30,8 +30,14 @@ import (
 // underlying implementations.
 type (
 	// Graph is an undirected conflict graph: vertices are 2-pin nets,
-	// edges are track-exclusivity constraints.
+	// edges are track-exclusivity constraints. It is immutable CSR
+	// (compressed sparse row) storage — build one with GraphBuilder or
+	// GraphFromEdgeStream.
 	Graph = graph.Graph
+	// GraphBuilder is the mutable construction side of Graph: AddVertex
+	// / AddEdge freely, then Freeze() into the immutable CSR form every
+	// consumer reads.
+	GraphBuilder = graph.Builder
 
 	// CSP is a graph-coloring constraint-satisfaction problem with
 	// per-vertex color domains.
@@ -87,6 +93,12 @@ type (
 	Netlist = fpga.Netlist
 	// GenParams control the synthetic netlist generator.
 	GenParams = fpga.GenParams
+	// ScaleParams control the tile-templated scaled-instance generator
+	// (see GenerateScaled).
+	ScaleParams = fpga.ScaleParams
+	// ScaleStats summarize a scaled instance (net/edge counts, clique
+	// lower bound, CSR storage size).
+	ScaleStats = fpga.ScaleStats
 	// RouteOptions configure the negotiated-congestion global router.
 	RouteOptions = fpga.RouteOptions
 	// GlobalRouting is a netlist with segment-level 2-pin routes.
@@ -318,6 +330,27 @@ func FindChi(ctx context.Context, g *Graph, strategies []Strategy, probeTimeout 
 
 // Generate builds a deterministic random placed netlist.
 func Generate(name string, p GenParams) (*Netlist, error) { return fpga.Generate(name, p) }
+
+// GenerateScaled instantiates interned switch-block templates across an
+// R×C fabric and streams the resulting conflict graph straight into CSR
+// storage — routing instances with 10⁵–10⁶ nets, generated in
+// milliseconds, with a known minimum channel width at full utilization.
+func GenerateScaled(p ScaleParams) (*Graph, ScaleStats, error) { return fpga.GenerateScaled(p) }
+
+// ScaledFabric returns the canonical scale-study parameters for a scale
+// factor (square fabric, side ∝ √factor, channel width 8).
+func ScaledFabric(factor int) ScaleParams { return fpga.ScaledFabric(factor) }
+
+// NewGraphBuilder returns a mutable graph builder with n vertices;
+// Freeze() it into an immutable CSR Graph.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// GraphFromEdgeStream builds a CSR Graph in two passes over a
+// deterministic edge stream, with no intermediate adjacency maps — the
+// cheapest way to materialize a large generated graph.
+func GraphFromEdgeStream(n int, stream func(emit func(u, v int))) *Graph {
+	return graph.FromEdgeStream(n, stream)
+}
 
 // RouteGlobal computes a global routing with negotiated congestion.
 // The boolean reports whether the occupancy target was met.

@@ -24,13 +24,14 @@ func Verify(g *graph.Graph, colors []int, k int) error {
 			return fmt.Errorf("coloring: vertex %d has color %d outside [0,%d)", v, c, k)
 		}
 	}
-	for _, e := range g.Edges() {
-		if colors[e[0]] == colors[e[1]] {
-			return fmt.Errorf("coloring: edge {%d,%d} monochromatic (color %d)",
-				e[0], e[1], colors[e[0]])
+	var bad error
+	g.ForEachEdge(func(u, v int) {
+		if bad == nil && colors[u] == colors[v] {
+			bad = fmt.Errorf("coloring: edge {%d,%d} monochromatic (color %d)",
+				u, v, colors[u])
 		}
-	}
-	return nil
+	})
+	return bad
 }
 
 // Greedy colors vertices in the given order (or 0..n-1 if order is

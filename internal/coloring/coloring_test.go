@@ -175,10 +175,11 @@ func TestChromaticNumberAgainstBounds(t *testing.T) {
 func TestGreedyCustomOrder(t *testing.T) {
 	// Crown-graph-like example where natural order wastes colors but a
 	// good order doesn't: star K1,3 colored leaf-first still needs 2.
-	g := graph.New(4)
-	g.AddEdge(0, 1)
-	g.AddEdge(0, 2)
-	g.AddEdge(0, 3)
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	g := b.Freeze()
 	colors, k := Greedy(g, []int{1, 2, 3, 0})
 	if err := Verify(g, colors, k); err != nil {
 		t.Fatal(err)
@@ -197,15 +198,16 @@ func TestGreedyOrderIsPermutationSensitive(t *testing.T) {
 	// The classic bipartite trap: vertices 0-3, edges 0-3, 1-2 plus
 	// cross edges make interleaved order use 3 colors while sides-first
 	// uses 2.
-	g := graph.New(6)
+	b := graph.NewBuilder(6)
 	// bipartite sides {0,2,4} and {1,3,5} minus a perfect matching
 	for i := 0; i < 6; i += 2 {
 		for j := 1; j < 6; j += 2 {
 			if j != i+1 {
-				g.AddEdge(i, j)
+				b.AddEdge(i, j)
 			}
 		}
 	}
+	g := b.Freeze()
 	_, kGood := Greedy(g, []int{0, 2, 4, 1, 3, 5})
 	_, kBad := Greedy(g, []int{0, 1, 2, 3, 4, 5})
 	if kGood != 2 {

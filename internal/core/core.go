@@ -125,12 +125,13 @@ func (c *CSP) Verify(colors []int) error {
 			return fmt.Errorf("core: vertex %d color %d outside domain [0,%d)", v, col, c.Domain[v])
 		}
 	}
-	for _, e := range c.G.Edges() {
-		if colors[e[0]] == colors[e[1]] {
-			return fmt.Errorf("core: edge {%d,%d} monochromatic", e[0], e[1])
+	var bad error
+	c.G.ForEachEdge(func(u, v int) {
+		if bad == nil && colors[u] == colors[v] {
+			bad = fmt.Errorf("core: edge {%d,%d} monochromatic", u, v)
 		}
-	}
-	return nil
+	})
+	return bad
 }
 
 // alloc hands out fresh DIMACS variable indices (1-based). It also

@@ -57,8 +57,7 @@ func EncodeInto(csp *CSP, enc Encoding, sink ClauseSink) *Streamed {
 		cubes[v] = vc
 	}
 	structural := cs.n
-	for _, e := range csp.G.Edges() {
-		u, v := e[0], e[1]
+	csp.G.ForEachEdge(func(u, v int) {
 		common := csp.Domain[u]
 		if csp.Domain[v] < common {
 			common = csp.Domain[v]
@@ -69,7 +68,7 @@ func EncodeInto(csp *CSP, enc Encoding, sink ClauseSink) *Streamed {
 			a.buf = cl
 			cs.AddClause(cl...)
 		}
-	}
+	})
 	return &Streamed{
 		Encoding:          enc,
 		CSP:               csp,

@@ -110,8 +110,9 @@ func TestEncodeAdjacentSingletonDomainsUnsat(t *testing.T) {
 	// Two adjacent vertices both restricted to color 0: every encoding
 	// must produce an unsatisfiable formula (the conflict clause is
 	// empty).
-	g := graph.New(2)
-	g.AddEdge(0, 1)
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	g := b.Freeze()
 	for _, enc := range allTestEncodings(t) {
 		csp := NewCSP(g, 3)
 		csp.RestrictDomain(0, 1)

@@ -13,10 +13,10 @@ import (
 // exists if and only if this graph is W-colorable, because subset
 // switch blocks preserve the track along each 2-pin route.
 func (gr *GlobalRouting) ConflictGraph() *graph.Graph {
-	g := graph.New(len(gr.Routes))
-	g.Labels = make([]string, len(gr.Routes))
+	b := graph.NewBuilder(len(gr.Routes))
+	b.Labels = make([]string, len(gr.Routes))
 	for i, r := range gr.Routes {
-		g.Labels[i] = r.Label(gr.Netlist)
+		b.Labels[i] = r.Label(gr.Netlist)
 	}
 	// Bucket route indices by segment, then connect different-net
 	// pairs within each bucket. Exclusivity needs to be imposed only
@@ -34,14 +34,14 @@ func (gr *GlobalRouting) ConflictGraph() *graph.Graph {
 	for _, routes := range bySeg {
 		for i := 0; i < len(routes); i++ {
 			for j := i + 1; j < len(routes); j++ {
-				a, b := gr.Routes[routes[i]], gr.Routes[routes[j]]
-				if a.Net != b.Net {
-					g.AddEdge(routes[i], routes[j])
+				ri, rj := gr.Routes[routes[i]], gr.Routes[routes[j]]
+				if ri.Net != rj.Net {
+					b.AddEdge(routes[i], routes[j])
 				}
 			}
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // DetailedRouting is a global routing plus a track assignment: 2-pin

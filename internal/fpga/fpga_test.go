@@ -230,11 +230,11 @@ func TestConflictGraphProperties(t *testing.T) {
 		t.Fatalf("N = %d, want %d", g.N(), len(gr.Routes))
 	}
 	// No edges between subnets of the same net.
-	for _, e := range g.Edges() {
-		if gr.Routes[e[0]].Net == gr.Routes[e[1]].Net {
-			t.Fatalf("edge between subnets of net %d", gr.Routes[e[0]].Net)
+	g.ForEachEdge(func(u, v int) {
+		if gr.Routes[u].Net == gr.Routes[v].Net {
+			t.Fatalf("edge between subnets of net %d", gr.Routes[u].Net)
 		}
-	}
+	})
 	// Nets sharing a segment must form a clique: the clique lower
 	// bound is at least the max congestion.
 	cl := coloring.GreedyClique(g)
@@ -271,9 +271,14 @@ func TestAssignTracksRejectsConflicts(t *testing.T) {
 		t.Fatal("conflicting track assignment accepted")
 	}
 	// Out-of-range track.
-	e := g.Edges()[0]
+	first := -1
+	g.ForEachEdge(func(u, v int) {
+		if first < 0 {
+			first = u
+		}
+	})
 	colors2, w := coloring.DSATUR(g)
-	colors2[e[0]] = w + 3
+	colors2[first] = w + 3
 	if _, err := AssignTracks(gr, colors2, w); err == nil {
 		t.Fatal("out-of-range track accepted")
 	}

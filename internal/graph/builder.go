@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates an undirected graph under mutation — the map-based
+// adjacency the package's Graph type used to expose directly — and
+// Freeze()s it into the immutable CSR Graph every consumer reads.
+// Self-loops are rejected (a 2-pin net cannot conflict with itself) and
+// parallel edges are merged.
+//
+// Adjacency grows lazily: a Builder created for n vertices commits no
+// per-vertex storage until edges touch the vertices, which is what lets
+// the DIMACS parser accept a large declared vertex count without
+// allocating for it up front.
+type Builder struct {
+	n   int
+	adj []map[int32]struct{}
+	m   int
+
+	// Labels optionally names vertices; carried into the frozen Graph.
+	Labels []string
+}
+
+// NewBuilder creates a builder with n isolated vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// N returns the number of vertices.
+func (b *Builder) N() int { return b.n }
+
+// M returns the number of edges added so far.
+func (b *Builder) M() int { return b.m }
+
+// AddVertex appends an isolated vertex and returns its index.
+func (b *Builder) AddVertex() int {
+	b.n++
+	return b.n - 1
+}
+
+// AddEdge inserts the undirected edge {u,v}. Adding an existing edge is
+// a no-op; self-loops panic since they would make the coloring CSP
+// trivially unsatisfiable by construction error. Out-of-range vertices
+// panic too: these are programmer errors under the taxonomy of
+// internal/robust — parse paths must validate before calling.
+func (b *Builder) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	b.check(u)
+	b.check(v)
+	b.grow(u)
+	b.grow(v)
+	if b.adj[u] == nil {
+		b.adj[u] = make(map[int32]struct{})
+	}
+	if _, dup := b.adj[u][int32(v)]; dup {
+		return
+	}
+	if b.adj[v] == nil {
+		b.adj[v] = make(map[int32]struct{})
+	}
+	b.adj[u][int32(v)] = struct{}{}
+	b.adj[v][int32(u)] = struct{}{}
+	b.m++
+}
+
+// HasEdge reports whether {u,v} has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n || u == v || u >= len(b.adj) {
+		return false
+	}
+	_, ok := b.adj[u][int32(v)]
+	return ok
+}
+
+// Degree returns the number of neighbors of v so far.
+func (b *Builder) Degree(v int) int {
+	b.check(v)
+	if v >= len(b.adj) {
+		return 0
+	}
+	return len(b.adj[v])
+}
+
+// Freeze converts the accumulated adjacency into an immutable CSR
+// Graph. The builder remains usable afterwards (freezing copies).
+func (b *Builder) Freeze() *Graph {
+	n := b.n
+	if n >= 1<<31-1 {
+		panic(fmt.Sprintf("graph: %d vertices exceed the CSR int32 id space", n))
+	}
+	offsets := make([]int32, n+1)
+	for v := 0; v < n && v < len(b.adj); v++ {
+		offsets[v+1] = int32(len(b.adj[v]))
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	neighbors := make([]int32, offsets[n])
+	for v := 0; v < n && v < len(b.adj); v++ {
+		row := neighbors[offsets[v]:offsets[v+1]]
+		i := 0
+		for u := range b.adj[v] {
+			row[i] = u
+			i++
+		}
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+	g := &Graph{offsets: offsets, neighbors: neighbors, m: b.m}
+	if b.Labels != nil {
+		g.Labels = append([]string(nil), b.Labels...)
+	}
+	return g
+}
+
+// grow extends the adjacency slice to cover vertex v. Growth is
+// incremental so that a huge declared vertex count costs nothing until
+// edges actually reference high vertex ids.
+func (b *Builder) grow(v int) {
+	if v < len(b.adj) {
+		return
+	}
+	if cap(b.adj) > v {
+		b.adj = b.adj[:v+1]
+		return
+	}
+	next := make([]map[int32]struct{}, v+1, growCap(len(b.adj), v+1))
+	copy(next, b.adj)
+	b.adj = next[:v+1]
+}
+
+func growCap(have, need int) int {
+	c := have * 2
+	if c < need {
+		c = need
+	}
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+func (b *Builder) check(v int) {
+	if v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, b.n))
+	}
+}

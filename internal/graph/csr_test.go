@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refGraph is a map-based reference implementation of the Graph
+// semantics, mutated in lockstep with a Builder. The CSR Freeze()
+// result must agree with it on every accessor — the behavioral
+// equivalence property the migration to CSR rests on.
+type refGraph struct {
+	n   int
+	adj []map[int]bool
+}
+
+func newRef(n int) *refGraph {
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	return &refGraph{n: n, adj: adj}
+}
+
+func (r *refGraph) addEdge(u, v int) {
+	r.adj[u][v] = true
+	r.adj[v][u] = true
+}
+
+func (r *refGraph) m() int {
+	total := 0
+	for _, row := range r.adj {
+		total += len(row)
+	}
+	return total / 2
+}
+
+func (r *refGraph) neighbors(v int) []int {
+	out := make([]int, 0, len(r.adj[v]))
+	for u := range r.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (r *refGraph) edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < r.n; u++ {
+		for v := range r.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func (r *refGraph) maxDegree() int {
+	max := 0
+	for _, row := range r.adj {
+		if len(row) > max {
+			max = len(row)
+		}
+	}
+	return max
+}
+
+func (r *refGraph) neighborDegreeSum(v int) int {
+	sum := 0
+	for u := range r.adj[v] {
+		sum += len(r.adj[u])
+	}
+	return sum
+}
+
+// checkAgainstRef asserts that g matches the reference on every
+// accessor of the Graph API.
+func checkAgainstRef(t *testing.T, g *Graph, ref *refGraph) {
+	t.Helper()
+	if g.N() != ref.n || g.M() != ref.m() {
+		t.Fatalf("N/M = %d/%d, want %d/%d", g.N(), g.M(), ref.n, ref.m())
+	}
+	if g.MaxDegree() != ref.maxDegree() {
+		t.Fatalf("MaxDegree = %d, want %d", g.MaxDegree(), ref.maxDegree())
+	}
+	for v := 0; v < ref.n; v++ {
+		want := ref.neighbors(v)
+		got := g.Neighbors(v)
+		if g.Degree(v) != len(want) || len(got) != len(want) {
+			t.Fatalf("vertex %d: degree %d, want %d", v, g.Degree(v), len(want))
+		}
+		for i := range want {
+			if int(got[i]) != want[i] {
+				t.Fatalf("Neighbors(%d) = %v, want %v", v, got, want)
+			}
+		}
+		if g.NeighborDegreeSum(v) != ref.neighborDegreeSum(v) {
+			t.Fatalf("NeighborDegreeSum(%d) = %d, want %d",
+				v, g.NeighborDegreeSum(v), ref.neighborDegreeSum(v))
+		}
+		for u := 0; u < ref.n; u++ {
+			if g.HasEdge(v, u) != ref.adj[v][u] {
+				t.Fatalf("HasEdge(%d,%d) = %v, want %v", v, u, g.HasEdge(v, u), ref.adj[v][u])
+			}
+		}
+	}
+	gotEdges, wantEdges := edgeList(g), ref.edges()
+	if len(gotEdges) != len(wantEdges) {
+		t.Fatalf("ForEachEdge yielded %d edges, want %d", len(gotEdges), len(wantEdges))
+	}
+	for i := range wantEdges {
+		if gotEdges[i] != wantEdges[i] {
+			t.Fatalf("edge %d = %v, want %v (order must be ascending (u,v))",
+				i, gotEdges[i], wantEdges[i])
+		}
+	}
+}
+
+// TestCSRMatchesBuilderReference drives a Builder and the map-based
+// reference with the same random edge sequence (including duplicate
+// insertions) and checks the frozen CSR graph is behaviorally identical
+// on N/M/Degree/HasEdge/Neighbors/ForEachEdge/MaxDegree/
+// NeighborDegreeSum, plus Clone and the DIMACS round-trip.
+func TestCSRMatchesBuilderReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		b := NewBuilder(n)
+		ref := newRef(n)
+		edges := rng.Intn(3 * n)
+		for i := 0; i < edges; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			b.AddEdge(u, v)
+			ref.addEdge(u, v)
+			if rng.Intn(4) == 0 { // duplicate insertions must merge
+				b.AddEdge(v, u)
+			}
+		}
+		g := b.Freeze()
+		checkAgainstRef(t, g, ref)
+		checkAgainstRef(t, g.Clone(), ref)
+
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstRef(t, h, ref)
+	}
+}
+
+// TestFromEdgeStreamMatchesBuilder checks the two-pass streaming
+// constructor and the Builder agree on identical edge sets.
+func TestFromEdgeStreamMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		var edges [][2]int
+		ref := newRef(n)
+		b := NewBuilder(n)
+		for i := 0; i < rng.Intn(4*n); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, [2]int{u, v}) // may repeat: stream must dedup
+			ref.addEdge(u, v)
+			b.AddEdge(u, v)
+		}
+		g := FromEdgeStream(n, func(emit func(u, v int)) {
+			for _, e := range edges {
+				emit(e[0], e[1])
+			}
+		})
+		checkAgainstRef(t, g, ref)
+		checkAgainstRef(t, b.Freeze(), ref)
+	}
+}
+
+// TestBuilderLazyAdjacency checks that a builder with a huge declared
+// vertex count commits storage proportional to the referenced vertices,
+// not the declared count — the property the DIMACS parser relies on to
+// close its OOM-by-header hole.
+func TestBuilderLazyAdjacency(t *testing.T) {
+	b := NewBuilder(1 << 30)
+	b.AddEdge(0, 7)
+	if len(b.adj) > 16 {
+		t.Fatalf("adjacency grew to %d entries for 2 touched vertices", len(b.adj))
+	}
+	if b.N() != 1<<30 || b.M() != 1 || !b.HasEdge(7, 0) {
+		t.Fatal("lazy builder misbehaves")
+	}
+	if b.Degree(1<<29) != 0 {
+		t.Fatal("untouched vertex degree != 0")
+	}
+}

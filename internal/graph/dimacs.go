@@ -8,6 +8,14 @@ import (
 	"strings"
 )
 
+// MaxParseVertices caps the vertex count ParseDIMACS accepts. The
+// DIMACS header declares the vertex count before any edge appears, so
+// without a cap a one-line file ("p edge 1000000000 0") could commit
+// gigabytes before parsing a single edge. The default admits every
+// published .col benchmark with two orders of magnitude to spare;
+// callers that really load larger graphs can raise it.
+var MaxParseVertices = 1 << 25
+
 // WriteDIMACS writes the graph in the DIMACS edge format used by the
 // graph-coloring benchmark collections ("p edge N M" header, "e u v"
 // lines, vertices 1-based), the intermediate format of the paper's
@@ -22,20 +30,32 @@ func WriteDIMACS(w io.Writer, g *Graph, comments ...string) error {
 	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.N(), g.M()); err != nil {
 		return err
 	}
-	for _, e := range g.Edges() {
-		if _, err := fmt.Fprintf(bw, "e %d %d\n", e[0]+1, e[1]+1); err != nil {
-			return err
+	var werr error
+	g.ForEachEdge(func(u, v int) {
+		if werr != nil {
+			return
 		}
+		_, werr = fmt.Fprintf(bw, "e %d %d\n", u+1, v+1)
+	})
+	if werr != nil {
+		return werr
 	}
 	return bw.Flush()
 }
 
-// ParseDIMACS reads a DIMACS edge-format graph. Duplicate edges are
-// merged; "n"-lines (vertex weights in some collections) are skipped.
+// ParseDIMACS reads a DIMACS edge-format graph into CSR form. Duplicate
+// edges are merged; "n"-lines (vertex weights in some collections) are
+// skipped. The declared vertex count is validated against
+// MaxParseVertices, per-vertex storage is only committed as edges
+// reference vertices, and the number of edge lines read must match the
+// edge count the header declared — a mismatch is an input error, not a
+// silently wrong graph.
 func ParseDIMACS(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
-	var g *Graph
+	var b *Builder
+	declaredEdges := 0
+	edgeLines := 0
 	line := 0
 	for sc.Scan() {
 		line++
@@ -48,7 +68,7 @@ func ParseDIMACS(r io.Reader) (*Graph, error) {
 		case "c", "n":
 			continue
 		case "p":
-			if g != nil {
+			if b != nil {
 				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
 			}
 			if len(fields) != 4 || (fields[1] != "edge" && fields[1] != "col") {
@@ -58,9 +78,18 @@ func ParseDIMACS(r io.Reader) (*Graph, error) {
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("graph: line %d: bad vertex count", line)
 			}
-			g = New(n)
+			if n > MaxParseVertices {
+				return nil, fmt.Errorf("graph: line %d: declared vertex count %d exceeds limit %d",
+					line, n, MaxParseVertices)
+			}
+			m, err := strconv.Atoi(fields[3])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge count", line)
+			}
+			declaredEdges = m
+			b = NewBuilder(n)
 		case "e":
-			if g == nil {
+			if b == nil {
 				return nil, fmt.Errorf("graph: line %d: edge before header", line)
 			}
 			if len(fields) != 3 {
@@ -68,13 +97,18 @@ func ParseDIMACS(r io.Reader) (*Graph, error) {
 			}
 			u, err1 := strconv.Atoi(fields[1])
 			v, err2 := strconv.Atoi(fields[2])
-			if err1 != nil || err2 != nil || u < 1 || v < 1 || u > g.N() || v > g.N() {
+			if err1 != nil || err2 != nil || u < 1 || v < 1 || u > b.N() || v > b.N() {
 				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
 			}
 			if u == v {
 				return nil, fmt.Errorf("graph: line %d: self-loop %d", line, u)
 			}
-			g.AddEdge(u-1, v-1)
+			edgeLines++
+			if edgeLines > declaredEdges {
+				return nil, fmt.Errorf("graph: line %d: more edge lines than the %d the header declared",
+					line, declaredEdges)
+			}
+			b.AddEdge(u-1, v-1)
 		default:
 			return nil, fmt.Errorf("graph: line %d: unknown line type %q", line, fields[0])
 		}
@@ -82,8 +116,12 @@ func ParseDIMACS(r io.Reader) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if g == nil {
+	if b == nil {
 		return nil, fmt.Errorf("graph: missing header")
 	}
-	return g, nil
+	if edgeLines != declaredEdges {
+		return nil, fmt.Errorf("graph: header declared %d edges but %d edge lines followed",
+			declaredEdges, edgeLines)
+	}
+	return b.Freeze(), nil
 }

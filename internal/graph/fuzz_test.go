@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACSGraph fuzzes the DIMACS edge-format parser — the only
+// input-facing parser in the flow's front end. The parser must never
+// panic, and any graph it accepts must satisfy the CSR invariants and
+// survive a Write/Parse round-trip unchanged.
+func FuzzParseDIMACSGraph(f *testing.F) {
+	seeds := []string{
+		"p edge 3 2\ne 1 2\ne 2 3\n",
+		"c comment\np col 4 2\ne 1 4\ne 2 3\n",
+		"p edge 5 3\nn 1 7\ne 1 2\ne 1 2\ne 4 5\n", // duplicate edge lines
+		"p edge 2 1\ne 1 1\n",                      // self-loop (rejected)
+		"p edge 2 1\ne 1 9\n",                      // out-of-range vertex
+		"p edge 1000000000 0\n",                    // OOM-by-header probe
+		"p edge 0 0\n",
+		"p edge 4 0\n\n\nc trailing\n",
+		"e 1 2\np edge 2 1\n", // edge before header
+		"p edge 3 2\ne 1 2\n", // fewer edges than declared
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseDIMACS(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Invariants of any accepted graph.
+		if g.N() < 0 || g.M() < 0 || g.N() > MaxParseVertices {
+			t.Fatalf("accepted graph with N=%d M=%d", g.N(), g.M())
+		}
+		degSum := 0
+		for v := 0; v < g.N(); v++ {
+			row := g.Neighbors(v)
+			degSum += len(row)
+			for i, u := range row {
+				if int(u) == v {
+					t.Fatalf("self-loop at %d survived parsing", v)
+				}
+				if int(u) < 0 || int(u) >= g.N() {
+					t.Fatalf("neighbor %d of %d out of range", u, v)
+				}
+				if i > 0 && row[i-1] >= u {
+					t.Fatalf("Neighbors(%d) not strictly sorted: %v", v, row)
+				}
+				if !g.HasEdge(v, int(u)) || !g.HasEdge(int(u), v) {
+					t.Fatalf("asymmetric adjacency {%d,%d}", v, u)
+				}
+			}
+		}
+		if degSum != 2*g.M() {
+			t.Fatalf("degree sum %d != 2*M (%d)", degSum, 2*g.M())
+		}
+		// Round-trip: write and reparse must reproduce the graph.
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, g); err != nil {
+			t.Fatalf("WriteDIMACS: %v", err)
+		}
+		h, err := ParseDIMACS(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\n%s", err, buf.String())
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			t.Fatalf("round-trip changed N/M: %d/%d -> %d/%d", g.N(), g.M(), h.N(), h.M())
+		}
+		ge, he := edgeList(g), edgeList(h)
+		for i := range ge {
+			if ge[i] != he[i] {
+				t.Fatalf("round-trip changed edge %d: %v -> %v", i, ge[i], he[i])
+			}
+		}
+	})
+}

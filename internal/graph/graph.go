@@ -3,122 +3,108 @@
 // are 2-pin nets, edges are track-exclusivity constraints, and the
 // DIMACS edge ("p edge", .col) format is the interchange format the
 // paper's tool flow emits between its two translation steps.
+//
+// The package separates construction from consumption. A Builder holds
+// mutable map-based adjacency and Freeze()s into an immutable Graph in
+// compressed sparse row (CSR) form: two flat int32 arrays (offsets,
+// neighbors) that give O(1) Degree, allocation-free sorted Neighbors
+// and a streaming ForEachEdge iterator. Consumers never materialize an
+// edge list, which keeps the encode path allocation-light and lets
+// tile-templated generators (package fpga) stream conflict graphs with
+// 10⁵–10⁶ nets straight into the encoders.
 package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
-// Graph is a simple undirected graph over vertices 0..N-1. Self-loops
-// are rejected (a 2-pin net cannot conflict with itself) and parallel
-// edges are merged.
+// Graph is an immutable simple undirected graph over vertices 0..N-1 in
+// CSR form. Self-loops and parallel edges cannot occur (the Builder and
+// the stream constructor reject or merge them). Build one with
+// (*Builder).Freeze, FromEdgeStream, or the generators in this package.
 type Graph struct {
-	n   int
-	adj []map[int]struct{}
-	m   int
+	// offsets has length n+1; the neighbors of v are
+	// neighbors[offsets[v]:offsets[v+1]], sorted ascending. Each
+	// undirected edge appears twice, so len(neighbors) == 2*m.
+	offsets   []int32
+	neighbors []int32
+	m         int
 
 	// Labels optionally names vertices (e.g. "net12.3" for the third
-	// 2-pin subnet of net 12). May be nil or shorter than n.
+	// 2-pin subnet of net 12). May be nil or shorter than n. Large
+	// generated graphs leave it nil; Label falls back to "v<i>".
 	Labels []string
 }
 
-// New creates a graph with n isolated vertices.
+// New creates an immutable graph with n isolated vertices (the CSR form
+// of the empty edge set). To build a graph with edges, use a Builder.
 func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	return &Graph{n: n, adj: make([]map[int]struct{}, n)}
+	return &Graph{offsets: make([]int32, n+1)}
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return g.n }
+func (g *Graph) N() int { return len(g.offsets) - 1 }
 
 // M returns the number of edges.
 func (g *Graph) M() int { return g.m }
 
-// AddVertex appends an isolated vertex and returns its index.
-func (g *Graph) AddVertex() int {
-	g.adj = append(g.adj, nil)
-	g.n++
-	return g.n - 1
-}
-
-// AddEdge inserts the undirected edge {u,v}. Adding an existing edge is
-// a no-op; self-loops panic since they would make the coloring CSP
-// trivially unsatisfiable by construction error. Out-of-range vertices
-// panic too: these are programmer errors under the taxonomy of
-// internal/robust — parse paths must validate before calling.
-func (g *Graph) AddEdge(u, v int) {
-	if u == v {
-		panic(fmt.Sprintf("graph: self-loop at %d", u))
-	}
-	g.check(u)
-	g.check(v)
-	if g.adj[u] == nil {
-		g.adj[u] = make(map[int]struct{})
-	}
-	if _, dup := g.adj[u][v]; dup {
-		return
-	}
-	if g.adj[v] == nil {
-		g.adj[v] = make(map[int]struct{})
-	}
-	g.adj[u][v] = struct{}{}
-	g.adj[v][u] = struct{}{}
-	g.m++
-}
-
-// HasEdge reports whether {u,v} is an edge.
-func (g *Graph) HasEdge(u, v int) bool {
-	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
-		return false
-	}
-	_, ok := g.adj[u][v]
-	return ok
-}
-
-// Degree returns the number of neighbors of v.
+// Degree returns the number of neighbors of v in O(1).
 func (g *Graph) Degree(v int) int {
 	g.check(v)
-	return len(g.adj[v])
+	return int(g.offsets[v+1] - g.offsets[v])
 }
 
-// Neighbors returns the sorted neighbor list of v.
-func (g *Graph) Neighbors(v int) []int {
+// Neighbors returns the sorted neighbor list of v as a sub-slice of the
+// CSR neighbor array — no allocation. The slice aliases the graph's
+// internal storage and MUST NOT be modified; callers that need to
+// reorder it must copy first.
+func (g *Graph) Neighbors(v int) []int32 {
 	g.check(v)
-	out := make([]int, 0, len(g.adj[v]))
-	for u := range g.adj[v] {
-		out = append(out, u)
-	}
-	sort.Ints(out)
-	return out
+	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
 }
 
-// Edges returns all edges as ordered pairs (u < v), sorted.
-func (g *Graph) Edges() [][2]int {
-	out := make([][2]int, 0, g.m)
-	for u := 0; u < g.n; u++ {
-		for v := range g.adj[u] {
-			if u < v {
-				out = append(out, [2]int{u, v})
-			}
+// HasEdge reports whether {u,v} is an edge, by binary search over the
+// smaller of the two neighbor rows.
+func (g *Graph) HasEdge(u, v int) bool {
+	n := g.N()
+	if u < 0 || u >= n || v < 0 || v >= n || u == v {
+		return false
+	}
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	row := g.Neighbors(u)
+	t := int32(v)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= t })
+	return i < len(row) && row[i] == t
+}
+
+// ForEachEdge calls f once per edge as an ordered pair (u < v), in
+// ascending (u, v) order — the same canonical order the DIMACS writer
+// and the encoders rely on. It allocates nothing; this is the streaming
+// replacement for materializing an edge list on hot paths.
+func (g *Graph) ForEachEdge(f func(u, v int)) {
+	for u := 0; u < g.N(); u++ {
+		row := g.neighbors[g.offsets[u]:g.offsets[u+1]]
+		// Rows are sorted, so the first neighbor > u starts the
+		// unordered-pair half of the row.
+		i := sort.Search(len(row), func(i int) bool { return int(row[i]) > u })
+		for _, v := range row[i:] {
+			f(u, int(v))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
-	return out
 }
 
 // MaxDegree returns the largest vertex degree, 0 for an empty graph.
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for v := 0; v < g.n; v++ {
-		if d := len(g.adj[v]); d > max {
+	for v := 0; v < g.N(); v++ {
+		if d := int(g.offsets[v+1] - g.offsets[v]); d > max {
 			max = d
 		}
 	}
@@ -130,26 +116,31 @@ func (g *Graph) MaxDegree() int {
 func (g *Graph) NeighborDegreeSum(v int) int {
 	g.check(v)
 	sum := 0
-	for u := range g.adj[v] {
-		sum += len(g.adj[u])
+	for _, u := range g.Neighbors(v) {
+		sum += int(g.offsets[u+1] - g.offsets[u])
 	}
 	return sum
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (the CSR arrays and labels are duplicated,
+// so the copy shares no storage with the original).
 func (g *Graph) Clone() *Graph {
-	out := New(g.n)
-	for u := 0; u < g.n; u++ {
-		for v := range g.adj[u] {
-			if u < v {
-				out.AddEdge(u, v)
-			}
-		}
+	out := &Graph{
+		offsets:   append([]int32(nil), g.offsets...),
+		neighbors: append([]int32(nil), g.neighbors...),
+		m:         g.m,
 	}
 	if g.Labels != nil {
 		out.Labels = append([]string(nil), g.Labels...)
 	}
 	return out
+}
+
+// Bytes returns the memory footprint of the CSR representation in
+// bytes (offsets plus neighbors; labels excluded). This is the "peak
+// graph bytes" number the scaling study records.
+func (g *Graph) Bytes() int {
+	return 4 * (len(g.offsets) + len(g.neighbors))
 }
 
 // Label returns the label of v, or a numeric fallback.
@@ -161,7 +152,89 @@ func (g *Graph) Label(v int) string {
 }
 
 func (g *Graph) check(v int) {
-	if v < 0 || v >= g.n {
-		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	if v < 0 || v >= g.N() {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.N()))
 	}
+}
+
+// FromEdgeStream builds a CSR graph directly from a deterministic edge
+// stream, without any intermediate per-vertex maps: stream is invoked
+// twice with an emit callback and must yield the same multiset of edges
+// both times (first pass counts degrees, second pass fills the rows).
+// Each undirected edge should be emitted once in either orientation;
+// duplicates are merged. Self-loops and out-of-range vertices panic,
+// matching (*Builder).AddEdge. This is the constructor tile-templated
+// generators use to stream million-net conflict graphs into CSR form
+// with two flat allocations.
+func FromEdgeStream(n int, stream func(emit func(u, v int))) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	if n >= math.MaxInt32 {
+		panic(fmt.Sprintf("graph: %d vertices exceed the CSR int32 id space", n))
+	}
+	offsets := make([]int32, n+1)
+	count := func(u, v int) {
+		if u == v {
+			panic(fmt.Sprintf("graph: self-loop at %d", u))
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, n))
+		}
+		offsets[u+1]++
+		offsets[v+1]++
+	}
+	stream(count)
+	var running int64
+	for v := 0; v < n; v++ {
+		running += int64(offsets[v+1])
+		if running > math.MaxInt32 {
+			panic("graph: edge stream exceeds the CSR int32 offset space")
+		}
+		offsets[v+1] = int32(running)
+	}
+	total := int(offsets[n])
+	neighbors := make([]int32, total)
+	cursor := append([]int32(nil), offsets[:n]...)
+	fill := func(u, v int) {
+		neighbors[cursor[u]] = int32(v)
+		cursor[u]++
+		neighbors[cursor[v]] = int32(u)
+		cursor[v]++
+	}
+	stream(fill)
+	for v := 0; v < n; v++ {
+		if cursor[v] != offsets[v+1] {
+			panic("graph: edge stream changed between passes")
+		}
+	}
+	g := &Graph{offsets: offsets, neighbors: neighbors, m: total / 2}
+	g.sortAndDedup()
+	return g
+}
+
+// sortAndDedup sorts every CSR row and merges duplicate entries in
+// place, compacting the neighbor array and recomputing offsets and the
+// edge count. Called by constructors on freshly filled rows.
+func (g *Graph) sortAndDedup() {
+	n := g.N()
+	write := int32(0)
+	rowStart := int32(0)
+	for v := 0; v < n; v++ {
+		row := g.neighbors[rowStart:g.offsets[v+1]]
+		rowStart = g.offsets[v+1]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		// Compact left; write never passes the current row's original
+		// start, so reads stay ahead of writes.
+		for i, u := range row {
+			if i > 0 && u == row[i-1] {
+				continue
+			}
+			g.neighbors[write] = u
+			write++
+		}
+		g.offsets[v+1] = write
+	}
+	g.neighbors = g.neighbors[:write]
+	g.m = int(write) / 2
 }

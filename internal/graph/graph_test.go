@@ -9,11 +9,20 @@ import (
 	"testing/quick"
 )
 
+// edgeList materializes a graph's edges via ForEachEdge — the test-side
+// replacement for the removed Edges() accessor.
+func edgeList(g *Graph) [][2]int {
+	var out [][2]int
+	g.ForEachEdge(func(u, v int) { out = append(out, [2]int{u, v}) })
+	return out
+}
+
 func TestBasicOperations(t *testing.T) {
-	g := New(4)
-	g.AddEdge(0, 1)
-	g.AddEdge(1, 2)
-	g.AddEdge(0, 1) // duplicate merged
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 1) // duplicate merged
+	g := b.Freeze()
 	if g.N() != 4 || g.M() != 2 {
 		t.Fatalf("N=%d M=%d, want 4,2", g.N(), g.M())
 	}
@@ -27,8 +36,21 @@ func TestBasicOperations(t *testing.T) {
 	if len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
 		t.Fatalf("Neighbors(1) = %v", nb)
 	}
-	if v := g.AddVertex(); v != 4 || g.N() != 5 {
-		t.Fatalf("AddVertex gave %d, N=%d", v, g.N())
+	if v := b.AddVertex(); v != 4 || b.N() != 5 {
+		t.Fatalf("AddVertex gave %d, N=%d", v, b.N())
+	}
+	if g.N() != 4 {
+		t.Fatal("Freeze result mutated by later builder growth")
+	}
+}
+
+func TestNewIsEdgeless(t *testing.T) {
+	g := New(3)
+	if g.N() != 3 || g.M() != 0 || g.Degree(2) != 0 {
+		t.Fatalf("New(3): N=%d M=%d", g.N(), g.M())
+	}
+	if es := edgeList(g); len(es) != 0 {
+		t.Fatalf("edges = %v", es)
 	}
 }
 
@@ -38,7 +60,7 @@ func TestSelfLoopPanics(t *testing.T) {
 			t.Fatal("expected panic on self-loop")
 		}
 	}()
-	New(2).AddEdge(1, 1)
+	NewBuilder(2).AddEdge(1, 1)
 }
 
 func TestOutOfRangePanics(t *testing.T) {
@@ -47,15 +69,15 @@ func TestOutOfRangePanics(t *testing.T) {
 			t.Fatal("expected panic on out-of-range vertex")
 		}
 	}()
-	New(2).AddEdge(0, 5)
+	NewBuilder(2).AddEdge(0, 5)
 }
 
-func TestEdgesSortedAndComplete(t *testing.T) {
-	g := New(5)
-	g.AddEdge(3, 1)
-	g.AddEdge(0, 4)
-	g.AddEdge(2, 0)
-	es := g.Edges()
+func TestForEachEdgeSortedAndComplete(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(3, 1)
+	b.AddEdge(0, 4)
+	b.AddEdge(2, 0)
+	es := edgeList(b.Freeze())
 	want := [][2]int{{0, 2}, {0, 4}, {1, 3}}
 	if len(es) != len(want) {
 		t.Fatalf("edges = %v", es)
@@ -65,6 +87,30 @@ func TestEdgesSortedAndComplete(t *testing.T) {
 			t.Fatalf("edges = %v, want %v", es, want)
 		}
 	}
+}
+
+func TestFromEdgeStreamMergesDuplicates(t *testing.T) {
+	g := FromEdgeStream(4, func(emit func(u, v int)) {
+		emit(0, 1)
+		emit(1, 0) // same edge, flipped orientation
+		emit(2, 3)
+		emit(2, 3)
+	})
+	if g.M() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Fatalf("M=%d", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatalf("degrees %d %d", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestFromEdgeStreamSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-loop")
+		}
+	}()
+	FromEdgeStream(2, func(emit func(u, v int)) { emit(1, 1) })
 }
 
 func TestMaxDegreeAndNeighborSum(t *testing.T) {
@@ -78,15 +124,18 @@ func TestMaxDegreeAndNeighborSum(t *testing.T) {
 }
 
 func TestCloneIndependent(t *testing.T) {
-	g := Cycle(5)
-	g.Labels = []string{"a", "b"}
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.Labels = []string{"a", "b"}
+	g := b.Freeze()
 	c := g.Clone()
-	c.AddEdge(0, 2)
-	if g.HasEdge(0, 2) {
-		t.Fatal("clone shares adjacency")
+	c.Labels[0] = "z"
+	c.neighbors[0] = 3
+	if g.Labels[0] != "a" || g.neighbors[0] != 1 {
+		t.Fatal("clone shares storage with original")
 	}
-	if c.Label(0) != "a" || c.Label(4) != "v4" {
-		t.Fatalf("labels wrong: %q %q", c.Label(0), c.Label(4))
+	if c.Label(1) != "b" || c.Label(4) != "v4" {
+		t.Fatalf("labels wrong: %q %q", c.Label(1), c.Label(4))
 	}
 }
 
@@ -110,6 +159,13 @@ func TestGenerators(t *testing.T) {
 	}
 }
 
+func TestBytesAccountsForCSRArrays(t *testing.T) {
+	g := Complete(10) // 10 vertices, 45 edges -> 11 offsets + 90 neighbor slots
+	if got, want := g.Bytes(), 4*(11+90); got != want {
+		t.Fatalf("Bytes = %d, want %d", got, want)
+	}
+}
+
 func TestDIMACSRoundtripProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	f := func(nRaw uint8, pRaw uint8) bool {
@@ -127,7 +183,7 @@ func TestDIMACSRoundtripProperty(t *testing.T) {
 		if h.N() != g.N() || h.M() != g.M() {
 			return false
 		}
-		ge, he := g.Edges(), h.Edges()
+		ge, he := edgeList(g), edgeList(h)
 		for i := range ge {
 			if ge[i] != he[i] {
 				return false
@@ -151,11 +207,31 @@ func TestParseDIMACSErrors(t *testing.T) {
 		"p edge 2 1\nz 1 2\n",      // unknown line
 		"p edge 2 1\np edge 2 1\n", // duplicate header
 		"",                         // missing header
+		"p edge 2 -1\n",            // negative edge count
+		"p edge 2 1\n",             // fewer edges than declared
+		"p edge 3 1\ne 1 2\ne 2 3\n", // more edges than declared
 	}
 	for _, in := range cases {
 		if _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
 			t.Errorf("input %q: expected error", in)
 		}
+	}
+}
+
+// TestParseDIMACSHugeHeaderRejected is the OOM-by-header regression
+// test: a header declaring a billion vertices must fail fast instead of
+// committing the adjacency for it.
+func TestParseDIMACSHugeHeaderRejected(t *testing.T) {
+	_, err := ParseDIMACS(strings.NewReader("p edge 1000000000 0\n"))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("err = %v, want vertex-count limit error", err)
+	}
+}
+
+func TestParseDIMACSEdgeCountMismatch(t *testing.T) {
+	_, err := ParseDIMACS(strings.NewReader("p edge 3 2\ne 1 2\n"))
+	if err == nil || !strings.Contains(err.Error(), "declared 2 edges") {
+		t.Fatalf("err = %v, want declared-edge-count mismatch", err)
 	}
 }
 
@@ -177,7 +253,7 @@ func TestNeighborDegreeSumProperty(t *testing.T) {
 		for v := 0; v < g.N(); v++ {
 			sum := 0
 			for _, u := range g.Neighbors(v) {
-				sum += g.Degree(u)
+				sum += g.Degree(int(u))
 			}
 			if got := g.NeighborDegreeSum(v); got != sum {
 				t.Fatalf("vertex %d: NeighborDegreeSum=%d, manual=%d", v, got, sum)

@@ -6,27 +6,27 @@ import "math/rand"
 // tests and by encoding ablation benchmarks; FPGA-derived graphs come
 // from package fpga instead.
 func Random(rng *rand.Rand, n int, p float64) *Graph {
-	g := New(n)
+	b := NewBuilder(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if rng.Float64() < p {
-				g.AddEdge(u, v)
+				b.AddEdge(u, v)
 			}
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // Complete returns the complete graph K_n, whose chromatic number is
 // exactly n — a useful hard case for unsatisfiability tests.
 func Complete(n int) *Graph {
-	g := New(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			g.AddEdge(u, v)
+	return FromEdgeStream(n, func(emit func(u, v int)) {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				emit(u, v)
+			}
 		}
-	}
-	return g
+	})
 }
 
 // Cycle returns the cycle C_n (chromatic number 2 for even n, 3 for
@@ -35,9 +35,9 @@ func Cycle(n int) *Graph {
 	if n < 3 {
 		panic("graph: cycle needs at least 3 vertices")
 	}
-	g := New(n)
-	for v := 0; v < n; v++ {
-		g.AddEdge(v, (v+1)%n)
-	}
-	return g
+	return FromEdgeStream(n, func(emit func(u, v int)) {
+		for v := 0; v < n; v++ {
+			emit(v, (v+1)%n)
+		}
+	})
 }

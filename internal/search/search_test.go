@@ -33,10 +33,10 @@ func canColor(g *graph.Graph, k int) bool {
 		return false
 	}
 	adj := make([][]int, n)
-	for _, e := range g.Edges() {
-		adj[e[0]] = append(adj[e[0]], e[1])
-		adj[e[1]] = append(adj[e[1]], e[0])
-	}
+	g.ForEachEdge(func(u, v int) {
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	})
 	colors := make([]int, n)
 	for i := range colors {
 		colors[i] = -1

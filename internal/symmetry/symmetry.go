@@ -115,7 +115,13 @@ func maxDegreeVertex(g *graph.Graph) int {
 func b1(g *graph.Graph, k int) []int {
 	seed := maxDegreeVertex(g)
 	seq := []int{seed}
-	nbs := g.Neighbors(seed)
+	// Neighbors returns a read-only view into the CSR arrays; copy
+	// before sorting so the graph stays immutable.
+	row := g.Neighbors(seed)
+	nbs := make([]int, len(row))
+	for i, u := range row {
+		nbs[i] = int(u)
+	}
 	byDegreeDesc(g, nbs)
 	for _, u := range nbs {
 		if len(seq) == k-1 {

@@ -50,10 +50,11 @@ func TestSequenceLengthBounds(t *testing.T) {
 
 func TestB1StartsAtMaxDegree(t *testing.T) {
 	// Star graph: center 0 has max degree.
-	g := graph.New(6)
+	b := graph.NewBuilder(6)
 	for v := 1; v < 6; v++ {
-		g.AddEdge(0, v)
+		b.AddEdge(0, v)
 	}
+	g := b.Freeze()
 	seq := Sequence(g, 4, B1)
 	if len(seq) != 3 || seq[0] != 0 {
 		t.Fatalf("b1 = %v, want [0 ...] of length 3", seq)
@@ -69,9 +70,10 @@ func TestB1StartsAtMaxDegree(t *testing.T) {
 func TestB1LimitedByNeighbors(t *testing.T) {
 	// Two disjoint edges: seed has only 1 neighbor, so b1 yields 2
 	// vertices even for large k.
-	g := graph.New(4)
-	g.AddEdge(0, 1)
-	g.AddEdge(2, 3)
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Freeze()
 	seq := Sequence(g, 10, B1)
 	if len(seq) != 2 {
 		t.Fatalf("b1 = %v, want length 2", seq)
@@ -80,10 +82,11 @@ func TestB1LimitedByNeighbors(t *testing.T) {
 
 func TestS1PicksHighestDegrees(t *testing.T) {
 	// Path 0-1-2-3-4: degrees 1,2,2,2,1.
-	g := graph.New(5)
+	b := graph.NewBuilder(5)
 	for v := 0; v < 4; v++ {
-		g.AddEdge(v, v+1)
+		b.AddEdge(v, v+1)
 	}
+	g := b.Freeze()
 	seq := Sequence(g, 4, S1)
 	if len(seq) != 3 {
 		t.Fatalf("s1 = %v, want length 3", seq)
@@ -98,12 +101,13 @@ func TestS1PicksHighestDegrees(t *testing.T) {
 func TestS1TieBreakByNeighborSum(t *testing.T) {
 	// Vertices 1 and 4 both have degree 2, but 1's neighbors (0,2) have
 	// higher total degree than 4's (3,5) in this construction.
-	g := graph.New(6)
-	g.AddEdge(0, 1)
-	g.AddEdge(1, 2)
-	g.AddEdge(0, 2) // triangle boosts degrees of 0 and 2
-	g.AddEdge(3, 4)
-	g.AddEdge(4, 5)
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2) // triangle boosts degrees of 0 and 2
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.Freeze()
 	seq := Sequence(g, 2, S1)
 	if len(seq) != 1 {
 		t.Fatalf("s1 = %v, want length 1", seq)
