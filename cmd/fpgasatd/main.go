@@ -1,0 +1,155 @@
+// Command fpgasatd is the solve-as-a-service daemon: a long-running
+// HTTP/JSON server that decides FPGA detailed routability at a given
+// channel width on sharded pools of reusable SAT solvers. It serves
+// the existing benchmark registry and inline DIMACS conflict graphs
+// through four endpoints:
+//
+//	POST /v1/solve     submit a solve job (async, or synchronous with "wait")
+//	GET  /v1/jobs/{id} job status and result
+//	GET  /metrics      live metrics snapshot (queue depths, shard
+//	                   utilization, pool hit rates, solver telemetry)
+//	GET  /healthz      liveness and drain state
+//
+// Jobs are classified into size-class shards by conflict-graph vertex
+// count; each shard owns a bounded admission queue (full = HTTP 429),
+// a fixed worker group, and a solver pool whose clause arenas recycle
+// across jobs of similar size. Every solve runs through the hardened
+// portfolio layer, so per-job deadlines, conflict budgets, retries,
+// clause sharing and paranoid answer verification are all available
+// per request. SIGINT/SIGTERM starts a graceful drain: admission
+// stops, queued and in-flight jobs finish, then the process exits.
+//
+// Usage:
+//
+//	fpgasatd -addr :8080
+//	fpgasatd -addr :8080 -verify -workers 8 -queue 512
+//	curl -s localhost:8080/v1/solve -d '{"instance":"alu2","width":6,"wait":true}'
+//
+// See docs/OPERATIONS.md for the endpoint reference, tuning guide and
+// metrics catalog.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"fpgasat/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("fpgasatd: ")
+	var (
+		addr            = flag.String("addr", ":8080", "listen address")
+		shardSpec       = flag.String("shards", "", `size-class layout as "name=maxVertices,..." with 0 = unbounded catch-all (default "small=4096,medium=262144,large=0")`)
+		workers         = flag.Int("workers", 0, "workers per shard (0 = per-shard defaults)")
+		queueDepth      = flag.Int("queue", 0, "admission queue depth per shard (0 = per-shard defaults)")
+		defaultDeadline = flag.Duration("default-deadline", time.Minute, "job deadline applied when the request sets none")
+		maxDeadline     = flag.Duration("max-deadline", 10*time.Minute, "upper clamp on job deadlines (negative = no clamp)")
+		verify          = flag.Bool("verify", false, "paranoid mode on every job: re-verify Sat answers against the conflict graph, replay Unsat answers through the DRAT checker")
+		retain          = flag.Duration("retain", 15*time.Minute, "how long completed jobs stay queryable via /v1/jobs")
+		maxJobs         = flag.Int("max-jobs", 16384, "job-table cap; oldest completed jobs are evicted beyond it")
+		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on SIGTERM before their solves are cancelled")
+	)
+	flag.Parse()
+
+	opts := serve.Options{
+		DefaultDeadline: *defaultDeadline,
+		MaxDeadline:     *maxDeadline,
+		Verify:          *verify,
+		RetainJobs:      *retain,
+		MaxJobs:         *maxJobs,
+	}
+	if *shardSpec != "" {
+		shards, err := parseShards(*shardSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Shards = shards
+	} else {
+		opts.Shards = serve.DefaultShards()
+	}
+	for i := range opts.Shards {
+		if *workers > 0 {
+			opts.Shards[i].Workers = *workers
+		}
+		if *queueDepth > 0 {
+			opts.Shards[i].QueueDepth = *queueDepth
+		}
+	}
+
+	srv, err := serve.NewServer(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	for _, sc := range opts.Shards {
+		bound := "unbounded"
+		if sc.MaxVertices > 0 {
+			bound = fmt.Sprintf("<= %d vertices", sc.MaxVertices)
+		}
+		log.Printf("shard %-8s %s, %d workers, queue %d", sc.Name, bound, sc.Workers, sc.QueueDepth)
+	}
+	log.Printf("serving on %s (verify=%v)", *addr, *verify)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutdown signal received; draining (timeout %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v (in-flight solves were cancelled)", err)
+	} else {
+		log.Printf("drain complete: all queued and in-flight jobs finished")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+}
+
+// parseShards parses the -shards flag: comma-separated name=bound
+// pairs, bound 0 marking the unbounded catch-all.
+func parseShards(spec string) ([]serve.ShardConfig, error) {
+	var out []serve.ShardConfig
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, boundStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-shards: %q is not name=maxVertices", part)
+		}
+		bound, err := strconv.Atoi(boundStr)
+		if err != nil {
+			return nil, fmt.Errorf("-shards: %q: %v", part, err)
+		}
+		out = append(out, serve.ShardConfig{Name: strings.TrimSpace(name), MaxVertices: bound})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-shards: empty layout")
+	}
+	return out, nil
+}

@@ -198,17 +198,17 @@ func TestDIMACSRoundtripProperty(t *testing.T) {
 
 func TestParseDIMACSErrors(t *testing.T) {
 	cases := []string{
-		"e 1 2\n",                  // edge before header
-		"p edge x 1\n",             // bad count
-		"p foo 2 1\n",              // wrong format
-		"p edge 2 1\ne 1 3\n",      // vertex out of range
-		"p edge 2 1\ne 1 1\n",      // self loop
-		"p edge 2 1\ne 1\n",        // malformed edge
-		"p edge 2 1\nz 1 2\n",      // unknown line
-		"p edge 2 1\np edge 2 1\n", // duplicate header
-		"",                         // missing header
-		"p edge 2 -1\n",            // negative edge count
-		"p edge 2 1\n",             // fewer edges than declared
+		"e 1 2\n",                    // edge before header
+		"p edge x 1\n",               // bad count
+		"p foo 2 1\n",                // wrong format
+		"p edge 2 1\ne 1 3\n",        // vertex out of range
+		"p edge 2 1\ne 1 1\n",        // self loop
+		"p edge 2 1\ne 1\n",          // malformed edge
+		"p edge 2 1\nz 1 2\n",        // unknown line
+		"p edge 2 1\np edge 2 1\n",   // duplicate header
+		"",                           // missing header
+		"p edge 2 -1\n",              // negative edge count
+		"p edge 2 1\n",               // fewer edges than declared
 		"p edge 3 1\ne 1 2\ne 2 3\n", // more edges than declared
 	}
 	for _, in := range cases {

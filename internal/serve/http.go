@@ -1,0 +1,122 @@
+package serve
+
+// The HTTP surface of the daemon. Four endpoints:
+//
+//	POST /v1/solve     submit a job (async 202, or sync with "wait")
+//	GET  /v1/jobs/{id} job status / result
+//	GET  /metrics      live obs snapshot (JSON)
+//	GET  /healthz      liveness + drain state
+//
+// Error mapping: *RequestError -> 400, ErrQueueFull -> 429 (with
+// Retry-After), ErrDraining -> 503, a synchronous job whose deadline
+// expired mid-solve -> 504 with the partial job view (attempt counts
+// per lane) in the body.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxRequestBody bounds POST bodies; inline DIMACS graphs above this
+// belong in a file submitted through an instance registry instead.
+const maxRequestBody = 64 << 20
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body) // the status line is already out; nothing to recover
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding request: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		var reqErr *RequestError
+		switch {
+		case errors.As(err, &reqErr):
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, job.View())
+		return
+	}
+	select {
+	case <-job.Done():
+		v := job.View()
+		switch {
+		case v.TimedOut:
+			// The job's own deadline expired mid-solve; the view still
+			// carries the per-lane attempt counts accumulated so far.
+			writeJSON(w, http.StatusGatewayTimeout, v)
+		case v.Answer == AnswerUndecided:
+			writeJSON(w, http.StatusInternalServerError, v)
+		default:
+			writeJSON(w, http.StatusOK, v)
+		}
+	case <-r.Context().Done():
+		// The client went away (or its own request deadline passed)
+		// while the job was still solving; report the in-flight view.
+		writeJSON(w, http.StatusGatewayTimeout, job.View())
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = s.Scrape().WriteJSON(w)
+}
+
+// healthBody is the GET /healthz payload.
+type healthBody struct {
+	Status string `json:"status"`
+	Jobs   int    `json:"jobs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: "draining", Jobs: s.JobCount()})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthBody{Status: "ok", Jobs: s.JobCount()})
+}

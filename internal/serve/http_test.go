@@ -1,0 +1,355 @@
+package serve
+
+// End-to-end tests of the HTTP surface: every endpoint, every error
+// status the daemon can return, and the drain behaviour a rolling
+// restart relies on. All tests run against httptest servers wrapping
+// Server.Handler, so they exercise exactly what cmd/fpgasatd serves.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fpgasat/internal/obs"
+	"fpgasat/internal/robust"
+)
+
+// newHTTPServer starts an httptest server around a fresh Server and
+// registers ordered cleanup: the HTTP listener closes before the
+// Server drains.
+func newHTTPServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := newTestServer(t, opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postSolve sends a SolveRequest and returns the status code plus the
+// decoded body (a JobView on 2xx/504, an errorBody otherwise).
+func postSolve(t *testing.T, ts *httptest.Server, req SolveRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func decodeView(t *testing.T, raw []byte) JobView {
+	t.Helper()
+	var v JobView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("decoding job view from %s: %v", raw, err)
+	}
+	return v
+}
+
+func TestHTTPSolveSyncRoutable(t *testing.T) {
+	_, ts := newHTTPServer(t, Options{})
+	code, raw := postSolve(t, ts, SolveRequest{
+		Graph: triangleCol, Width: 3,
+		Wait: true, WantColors: true, Verify: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, raw)
+	}
+	v := decodeView(t, raw)
+	if v.Answer != AnswerRoutable || v.State != StateDone {
+		t.Fatalf("answer %q state %q, want ROUTABLE/done", v.Answer, v.State)
+	}
+	if len(v.Colors) != 3 {
+		t.Fatalf("colors %v, want a 3-vertex assignment", v.Colors)
+	}
+	if v.Winner == "" || len(v.Lanes) == 0 {
+		t.Fatalf("missing winner/lanes in %s", raw)
+	}
+}
+
+func TestHTTPSolveSyncUnroutable(t *testing.T) {
+	_, ts := newHTTPServer(t, Options{})
+	code, raw := postSolve(t, ts, SolveRequest{Graph: triangleCol, Width: 2, Wait: true, Verify: true})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, raw)
+	}
+	if v := decodeView(t, raw); v.Answer != AnswerUnroutable {
+		t.Fatalf("answer %q, want UNROUTABLE", v.Answer)
+	}
+}
+
+func TestHTTPSolveAsyncPoll(t *testing.T) {
+	_, ts := newHTTPServer(t, Options{})
+	code, raw := postSolve(t, ts, SolveRequest{Instance: "too_large", Verify: true})
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d, body %s", code, raw)
+	}
+	v := decodeView(t, raw)
+	if v.ID == "" || v.State == StateDone {
+		t.Fatalf("async submit returned %s", raw)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for v.State != StateDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %+v", v.ID, v)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: status %d err %v", resp.StatusCode, err)
+		}
+		v = decodeView(t, raw)
+	}
+	// Width 0 on a named instance defaults to its calibrated routable width.
+	if v.Answer != AnswerRoutable || v.Instance != "too_large" || v.Width != 7 {
+		t.Fatalf("polled result %+v, want ROUTABLE too_large at width 7", v)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := newHTTPServer(t, Options{})
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	for name, req := range map[string]SolveRequest{
+		"no problem":       {Width: 3},
+		"both problems":    {Instance: "alu2", Graph: triangleCol, Width: 3},
+		"unknown instance": {Instance: "definitely-not-registered"},
+		"graph sans width": {Graph: triangleCol},
+	} {
+		if code, raw := postSolve(t, ts, req); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (body %s), want 400", name, code, raw)
+		}
+	}
+}
+
+func TestHTTPJobNotFound(t *testing.T) {
+	_, ts := newHTTPServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/jobs/no-such-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPHealthzAndMetrics(t *testing.T) {
+	_, ts := newHTTPServer(t, Options{})
+	if code, raw := postSolve(t, ts, SolveRequest{Graph: triangleCol, Width: 3, Wait: true}); code != http.StatusOK {
+		t.Fatalf("warm-up solve: status %d body %s", code, raw)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health healthBody
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || health.Status != "ok" || health.Jobs != 1 {
+		t.Fatalf("healthz: status %d body %+v err %v", resp.StatusCode, health, err)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d err %v", resp.StatusCode, err)
+	}
+	if got := snap.Counters[MetricJobsCompleted]; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricJobsCompleted, got)
+	}
+	for _, g := range []string{
+		MetricQueueDepth + ".only",
+		MetricQueueCap + ".only",
+		MetricWorkersBusy + ".only",
+		MetricWorkers + ".only",
+		MetricPoolGets + ".only",
+		MetricJobsRetained,
+	} {
+		if _, ok := snap.Gauges[g]; !ok {
+			t.Errorf("gauge %q missing from /metrics", g)
+		}
+	}
+	if _, ok := snap.Timers[MetricSolve]; !ok {
+		t.Errorf("timer %q missing from /metrics", MetricSolve)
+	}
+}
+
+func TestHTTPDeadlineExpiry504(t *testing.T) {
+	_, ts := newHTTPServer(t, Options{})
+	robust.SetFailpoint(robust.FPPortfolioLane, func(args ...any) { time.Sleep(150 * time.Millisecond) })
+	t.Cleanup(func() { robust.ClearFailpoint(robust.FPPortfolioLane) })
+
+	code, raw := postSolve(t, ts, SolveRequest{Graph: triangleCol, Width: 3, DeadlineMS: 40, Wait: true})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (body %s), want 504", code, raw)
+	}
+	v := decodeView(t, raw)
+	if !v.TimedOut || v.Answer != AnswerUndecided {
+		t.Fatalf("view %+v, want timed_out UNDECIDED", v)
+	}
+	// The 504 body must still carry the partial per-lane attempt info.
+	if v.Attempts < 1 || len(v.Lanes) == 0 {
+		t.Fatalf("504 body lost attempt info: %+v", v)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	_, ts := newHTTPServer(t, Options{
+		Shards: []ShardConfig{{Name: "only", Workers: 1, QueueDepth: 1}},
+	})
+	release := make(chan struct{})
+	var once sync.Once
+	releaseAll := func() { once.Do(func() { close(release) }) }
+	robust.SetFailpoint(robust.FPPortfolioLane, func(args ...any) { <-release })
+	t.Cleanup(func() {
+		robust.ClearFailpoint(robust.FPPortfolioLane)
+		releaseAll()
+	})
+
+	var running JobView
+	if code, raw := postSolve(t, ts, SolveRequest{Graph: triangleCol, Width: 3}); code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d body %s", code, raw)
+	} else {
+		running = decodeView(t, raw)
+	}
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + running.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if decodeView(t, raw).State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, raw := postSolve(t, ts, SolveRequest{Graph: triangleCol, Width: 3}); code != http.StatusAccepted {
+		t.Fatalf("second submit: status %d body %s", code, raw)
+	}
+
+	body, _ := json.Marshal(SolveRequest{Graph: triangleCol, Width: 3})
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	releaseAll()
+}
+
+func TestHTTPDrainReturns503(t *testing.T) {
+	s, ts := newHTTPServer(t, Options{})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code, raw := postSolve(t, ts, SolveRequest{Graph: triangleCol, Width: 3}); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: status %d body %s, want 503", code, raw)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health healthBody
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Fatalf("draining healthz: status %d body %+v err %v", resp.StatusCode, health, err)
+	}
+}
+
+// TestHTTPSigtermDrainViaSignalPath mirrors what cmd/fpgasatd does on
+// SIGTERM: stop admission, let in-flight jobs finish, then shut the
+// listener down. The in-flight synchronous request must complete with
+// its real answer, not an error.
+func TestHTTPSigtermDrainViaSignalPath(t *testing.T) {
+	s, ts := newHTTPServer(t, Options{
+		Shards: []ShardConfig{{Name: "only", Workers: 2, QueueDepth: 16}},
+	})
+	gate := make(chan struct{})
+	var once sync.Once
+	robust.SetFailpoint(robust.FPPortfolioLane, func(args ...any) { <-gate })
+	t.Cleanup(func() {
+		robust.ClearFailpoint(robust.FPPortfolioLane)
+		once.Do(func() { close(gate) })
+	})
+
+	type result struct {
+		code int
+		raw  []byte
+	}
+	results := make(chan result, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			code, raw := postSolve(t, ts, SolveRequest{Graph: triangleCol, Width: 3, Wait: true, DeadlineMS: 60_000})
+			results <- result{code, raw}
+		}()
+	}
+	// Wait for all four to be admitted (2 running + 2 queued), then
+	// start the drain concurrently and release the solver gate.
+	for s.JobCount() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	drainErr := make(chan error, 1)
+	go func() {
+		dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer dcancel()
+		drainErr <- s.Drain(dctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	once.Do(func() { close(gate) })
+
+	for i := 0; i < 4; i++ {
+		r := <-results
+		if r.code != http.StatusOK {
+			t.Fatalf("in-flight request during drain: status %d body %s", r.code, r.raw)
+		}
+		if v := decodeView(t, r.raw); v.Answer != AnswerRoutable {
+			t.Fatalf("in-flight request during drain: %+v", v)
+		}
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

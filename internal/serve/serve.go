@@ -1,0 +1,691 @@
+// Package serve is the solve-as-a-service layer behind cmd/fpgasatd:
+// it turns the one-shot decide-routability-at-W flow into a
+// long-running daemon that accepts solve jobs over HTTP, executes them
+// on sharded pools of reusable solvers, and exposes its internals
+// through the obs metrics registry.
+//
+// The architecture is a fixed set of size-class shards. Each shard
+// owns a sat.Pool (so solvers recycle their clause arenas within a
+// size class instead of ping-ponging between tiny and huge instances)
+// and a group of worker goroutines draining a bounded admission queue.
+// A job is classified by its conflict graph's vertex count at submit
+// time; a full queue rejects the submit immediately (HTTP 429) rather
+// than buffering unboundedly — callers are expected to back off and
+// retry, which keeps tail latency honest under overload.
+//
+// Every job runs through portfolio.RunHardened, so the daemon inherits
+// the whole supervision stack: panic-isolated lanes, paranoid answer
+// verification, budgeted conflict-budget retries and per-lane
+// watchdogs. The per-job deadline becomes a context deadline on the
+// run; a deadline that expires mid-solve surfaces as an UNDECIDED
+// answer with TimedOut set and the per-lane attempt counts preserved.
+//
+// Shutdown is graceful: Drain stops admission (new submits fail with
+// ErrDraining, /healthz flips to 503), lets the workers finish every
+// queued and in-flight job, and only then returns. A drain context
+// that expires instead cancels the in-flight solves, which unwind
+// promptly through their cancellation polling.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpgasat/internal/core"
+	"fpgasat/internal/graph"
+	"fpgasat/internal/mcnc"
+	"fpgasat/internal/obs"
+	"fpgasat/internal/portfolio"
+	"fpgasat/internal/robust"
+	"fpgasat/internal/sat"
+	"fpgasat/internal/share"
+)
+
+// Daemon metric names. Per-shard metrics append "." plus the shard
+// name (e.g. "serve.queue.depth.small"); the gauges are refreshed on
+// every /metrics scrape.
+const (
+	// MetricJobsSubmitted counts jobs admitted to a queue;
+	// MetricJobsRejected counts submits refused with ErrQueueFull.
+	MetricJobsSubmitted = "serve.jobs.submitted"
+	MetricJobsRejected  = "serve.jobs.rejected"
+	// MetricJobsCompleted counts jobs that ran to completion (any
+	// answer); MetricJobsTimeout the subset whose deadline expired
+	// mid-solve; MetricJobsFailed the subset that ended with an error
+	// and no definite answer (lane panics, soundness violations).
+	MetricJobsCompleted = "serve.jobs.completed"
+	MetricJobsTimeout   = "serve.jobs.timeout"
+	MetricJobsFailed    = "serve.jobs.failed"
+	// MetricJobsRetained gauges the jobs currently held in the job
+	// table (queued, running and done-but-not-yet-GCed).
+	MetricJobsRetained = "serve.jobs.retained"
+	// MetricQueueWait times how long jobs sat queued before a worker
+	// picked them up; MetricSolve times the solve itself.
+	MetricQueueWait = "serve.queue.wait"
+	MetricSolve     = "serve.solve"
+	// Per-shard gauges: current queue depth and capacity, busy and
+	// total workers, and the shard pool's cumulative solver hand-outs
+	// and reuses (reuses/gets is the pool hit rate).
+	MetricQueueDepth  = "serve.queue.depth"
+	MetricQueueCap    = "serve.queue.cap"
+	MetricWorkersBusy = "serve.workers.busy"
+	MetricWorkers     = "serve.workers"
+	MetricPoolGets    = "serve.pool.gets"
+	MetricPoolReuses  = "serve.pool.reuses"
+)
+
+// DefaultStrategy is the encoding/symmetry pair jobs solve with when
+// the request names neither a strategy nor the portfolio: the paper's
+// overall best single strategy.
+const DefaultStrategy = "ITE-linear-2+muldirect/s1"
+
+// Sentinel errors of the admission path. The HTTP layer maps them to
+// status codes (429, 503, 400).
+var (
+	// ErrQueueFull reports that the job's size-class shard had no queue
+	// slot free. The job was not admitted; retry with backoff.
+	ErrQueueFull = fmt.Errorf("serve: shard queue full")
+	// ErrDraining reports that the server has begun its graceful
+	// shutdown and admits no new work.
+	ErrDraining = fmt.Errorf("serve: server is draining")
+)
+
+// RequestError marks a submit rejected because of the request itself
+// (unknown instance, unparsable graph, invalid width); the HTTP layer
+// maps it to 400 rather than 5xx.
+type RequestError struct{ Err error }
+
+func (e *RequestError) Error() string { return "serve: bad request: " + e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// badRequest wraps a validation failure as a *RequestError.
+func badRequest(format string, args ...any) error {
+	return &RequestError{Err: fmt.Errorf(format, args...)}
+}
+
+// ShardConfig sizes one size-class shard.
+type ShardConfig struct {
+	// Name labels the shard in metrics and job views.
+	Name string
+	// MaxVertices is the inclusive conflict-graph size bound of the
+	// shard; jobs are routed to the first shard (in ascending bound
+	// order) whose bound admits them. A bound <= 0 means unbounded —
+	// the catch-all shard every configuration must end with.
+	MaxVertices int
+	// Workers is the number of concurrent solve workers (default 2).
+	Workers int
+	// QueueDepth bounds the admission queue; a submit that finds the
+	// queue full fails with ErrQueueFull (default 64).
+	QueueDepth int
+}
+
+// DefaultShards returns the default three-class layout: "small" for
+// MCNC-scale graphs, "medium" for the tile-templated scaled instances,
+// and an unbounded "large" catch-all with few workers (large jobs are
+// memory-hungry; fewer in flight keeps the arenas bounded).
+func DefaultShards() []ShardConfig {
+	return []ShardConfig{
+		{Name: "small", MaxVertices: 4096, Workers: 4, QueueDepth: 256},
+		{Name: "medium", MaxVertices: 1 << 18, Workers: 2, QueueDepth: 64},
+		{Name: "large", MaxVertices: 0, Workers: 1, QueueDepth: 8},
+	}
+}
+
+// Options configures a Server. The zero value serves with
+// DefaultShards, a fresh metrics registry and the documented default
+// deadlines and retention.
+type Options struct {
+	// Shards is the size-class layout; nil selects DefaultShards().
+	// Shards are sorted by bound; exactly the unbounded ones must have
+	// MaxVertices <= 0 and at least one is required as catch-all.
+	Shards []ShardConfig
+	// Metrics receives all daemon, portfolio and robustness telemetry;
+	// nil creates a private registry (exposed via Metrics()).
+	Metrics *obs.Registry
+	// DefaultDeadline applies to jobs that set none (default 1m);
+	// MaxDeadline clamps every job deadline (default 10m, <0 disables
+	// the clamp).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// Verify forces paranoid mode on every job regardless of the
+	// request: Sat answers re-checked against conflict edges, Unsat
+	// answers replayed through the DRAT checker.
+	Verify bool
+	// RetainJobs is how long completed jobs stay queryable before the
+	// janitor deletes them (default 15m). MaxJobs additionally caps the
+	// job table, evicting the oldest completed jobs first (default
+	// 16384). GCInterval is the janitor period (default 30s).
+	RetainJobs time.Duration
+	MaxJobs    int
+	GCInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards == nil {
+		o.Shards = DefaultShards()
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.DefaultDeadline <= 0 {
+		o.DefaultDeadline = time.Minute
+	}
+	if o.MaxDeadline == 0 {
+		o.MaxDeadline = 10 * time.Minute
+	}
+	if o.RetainJobs <= 0 {
+		o.RetainJobs = 15 * time.Minute
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 16384
+	}
+	if o.GCInterval <= 0 {
+		o.GCInterval = 30 * time.Second
+	}
+	return o
+}
+
+// shard is one size class: a bounded admission queue drained by a
+// fixed worker group, and the sat.Pool those workers draw solvers
+// from.
+type shard struct {
+	cfg   ShardConfig
+	queue chan *Job
+	pool  sat.Pool
+	busy  atomic.Int64
+}
+
+// Server is the serving core: shards, workers, the job table and its
+// janitor. Create one with NewServer and expose it over HTTP with
+// Handler; it is safe for concurrent use.
+type Server struct {
+	opts   Options
+	reg    *obs.Registry
+	shards []*shard
+
+	// admit serializes submits against the drain transition: Submit
+	// holds the read side while it checks the draining flag and sends
+	// on a shard queue, so Drain's queue close can never race a send.
+	admit    sync.RWMutex
+	draining bool
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	workers    sync.WaitGroup
+	stopGC     chan struct{}
+	gcDone     chan struct{}
+
+	jobs   jobTable
+	idSeq  atomic.Int64
+	graphs sync.Map // instance name -> instanceEntry
+}
+
+// instanceEntry caches a built benchmark instance so repeated jobs on
+// the same instance skip netlist generation and global routing.
+type instanceEntry struct {
+	g         *graph.Graph
+	routableW int
+	err       error
+}
+
+// NewServer builds and starts a server: workers and the job janitor
+// begin running immediately. Returns an error for an invalid shard
+// layout.
+func NewServer(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	shards := append([]ShardConfig(nil), opts.Shards...)
+	for i := range shards {
+		if shards[i].Name == "" {
+			return nil, fmt.Errorf("serve: shard %d has no name", i)
+		}
+		if shards[i].Workers <= 0 {
+			shards[i].Workers = 2
+		}
+		if shards[i].QueueDepth <= 0 {
+			shards[i].QueueDepth = 64
+		}
+	}
+	// Ascending bound order with the unbounded catch-all(s) last.
+	sort.SliceStable(shards, func(i, j int) bool {
+		bi, bj := shards[i].MaxVertices, shards[j].MaxVertices
+		switch {
+		case bi <= 0:
+			return false
+		case bj <= 0:
+			return true
+		default:
+			return bi < bj
+		}
+	})
+	if shards[len(shards)-1].MaxVertices > 0 {
+		return nil, fmt.Errorf("serve: shard layout needs an unbounded catch-all (MaxVertices <= 0)")
+	}
+	seen := map[string]bool{}
+	for _, sc := range shards {
+		if seen[sc.Name] {
+			return nil, fmt.Errorf("serve: duplicate shard name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		reg:        opts.Metrics,
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		stopGC:     make(chan struct{}),
+		gcDone:     make(chan struct{}),
+		jobs:       jobTable{byID: map[string]*Job{}},
+	}
+	for _, sc := range shards {
+		sh := &shard{cfg: sc, queue: make(chan *Job, sc.QueueDepth)}
+		s.shards = append(s.shards, sh)
+		for w := 0; w < sc.Workers; w++ {
+			s.workers.Add(1)
+			go s.worker(sh)
+		}
+	}
+	s.preregisterMetrics()
+	go s.janitor()
+	return s, nil
+}
+
+// Metrics returns the server's registry (for -metrics-out style dumps
+// alongside the /metrics endpoint).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// preregisterMetrics touches every metric the daemon can emit so a
+// /metrics scrape shows zero values instead of omitting quiet
+// counters — operators alert on absence otherwise.
+func (s *Server) preregisterMetrics() {
+	for _, name := range []string{
+		MetricJobsSubmitted, MetricJobsRejected, MetricJobsCompleted,
+		MetricJobsTimeout, MetricJobsFailed,
+	} {
+		s.reg.Counter(name)
+	}
+	for _, name := range []string{
+		portfolio.MetricPanics, portfolio.MetricRetries,
+		portfolio.MetricVerifySat, portfolio.MetricVerifyUnsat,
+		portfolio.MetricAbandoned,
+		portfolio.MetricShareExported, portfolio.MetricShareFiltered,
+		portfolio.MetricShareDuplicates, portfolio.MetricShareDropped,
+		portfolio.MetricShareImported, portfolio.MetricShareRejected,
+	} {
+		s.reg.Counter(name)
+	}
+	s.reg.Timer(MetricQueueWait)
+	s.reg.Timer(MetricSolve)
+	s.reg.Gauge(MetricJobsRetained)
+	for _, sh := range s.shards {
+		suffix := "." + sh.cfg.Name
+		s.reg.Gauge(MetricQueueDepth + suffix)
+		s.reg.Gauge(MetricQueueCap + suffix).Set(int64(sh.cfg.QueueDepth))
+		s.reg.Gauge(MetricWorkersBusy + suffix)
+		s.reg.Gauge(MetricWorkers + suffix).Set(int64(sh.cfg.Workers))
+		s.reg.Gauge(MetricPoolGets + suffix)
+		s.reg.Gauge(MetricPoolReuses + suffix)
+	}
+}
+
+// Scrape refreshes the point-in-time gauges (queue depths, busy
+// workers, pool hit rates, retained jobs) and returns a snapshot of
+// the registry — the payload of GET /metrics.
+func (s *Server) Scrape() obs.Snapshot {
+	for _, sh := range s.shards {
+		suffix := "." + sh.cfg.Name
+		s.reg.Gauge(MetricQueueDepth + suffix).Set(int64(len(sh.queue)))
+		s.reg.Gauge(MetricWorkersBusy + suffix).Set(sh.busy.Load())
+		ps := sh.pool.Stats()
+		s.reg.Gauge(MetricPoolGets + suffix).Set(ps.Gets)
+		s.reg.Gauge(MetricPoolReuses + suffix).Set(ps.Reuses)
+	}
+	s.reg.Gauge(MetricJobsRetained).Set(int64(s.jobs.len()))
+	return s.reg.Snapshot()
+}
+
+// Draining reports whether the server has begun shutdown.
+func (s *Server) Draining() bool {
+	s.admit.RLock()
+	defer s.admit.RUnlock()
+	return s.draining
+}
+
+// classify routes a conflict graph to its size-class shard: the first
+// shard whose vertex bound admits it (the catch-all admits anything).
+func (s *Server) classify(n int) *shard {
+	for _, sh := range s.shards {
+		if sh.cfg.MaxVertices <= 0 || n <= sh.cfg.MaxVertices {
+			return sh
+		}
+	}
+	return s.shards[len(s.shards)-1]
+}
+
+// resolveInstance builds (or fetches from cache) a benchmark
+// instance's conflict graph and calibrated width.
+func (s *Server) resolveInstance(name string) (instanceEntry, error) {
+	if e, ok := s.graphs.Load(name); ok {
+		ent := e.(instanceEntry)
+		return ent, ent.err
+	}
+	in, err := mcnc.ByName(name)
+	if err != nil {
+		return instanceEntry{}, badRequest("%v", err)
+	}
+	_, g, err := in.Build()
+	ent := instanceEntry{g: g, routableW: in.RoutableW, err: err}
+	// Two racing builders compute identical graphs (builds are
+	// deterministic), so last-store-wins is fine.
+	s.graphs.Store(name, ent)
+	return ent, err
+}
+
+// Submit validates a request, resolves its conflict graph, classifies
+// it into a shard and enqueues it. It returns the registered job on
+// success; ErrQueueFull, ErrDraining and *RequestError are the
+// documented failure modes.
+func (s *Server) Submit(req SolveRequest) (*Job, error) {
+	g, width, instName, err := s.resolveProblem(&req)
+	if err != nil {
+		return nil, err
+	}
+	strategies, popts, err := s.resolveRun(&req)
+	if err != nil {
+		return nil, err
+	}
+
+	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
+	if deadline <= 0 {
+		deadline = s.opts.DefaultDeadline
+	}
+	if s.opts.MaxDeadline > 0 && deadline > s.opts.MaxDeadline {
+		deadline = s.opts.MaxDeadline
+	}
+
+	sh := s.classify(g.N())
+	now := time.Now()
+	job := &Job{
+		g:          g,
+		width:      width,
+		strategies: strategies,
+		popts:      popts,
+		wantColors: req.WantColors,
+		deadline:   now.Add(deadline),
+		done:       make(chan struct{}),
+	}
+	job.view = JobView{
+		State:       StateQueued,
+		Instance:    instName,
+		Width:       width,
+		Shard:       sh.cfg.Name,
+		Vertices:    g.N(),
+		Edges:       g.M(),
+		SubmittedAt: now,
+		DeadlineMS:  deadline.Milliseconds(),
+	}
+
+	s.admit.RLock()
+	if s.draining {
+		s.admit.RUnlock()
+		return nil, ErrDraining
+	}
+	job.ID = fmt.Sprintf("j%08d", s.idSeq.Add(1))
+	job.view.ID = job.ID
+	select {
+	case sh.queue <- job:
+		s.jobs.add(job, s.opts.MaxJobs)
+		s.reg.Counter(MetricJobsSubmitted).Inc()
+		s.admit.RUnlock()
+		return job, nil
+	default:
+		s.admit.RUnlock()
+		s.reg.Counter(MetricJobsRejected).Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// resolveProblem turns the request's instance name or inline DIMACS
+// graph into a conflict graph plus effective width.
+func (s *Server) resolveProblem(req *SolveRequest) (*graph.Graph, int, string, error) {
+	switch {
+	case req.Instance != "" && req.Graph != "":
+		return nil, 0, "", badRequest("give either an instance name or an inline graph, not both")
+	case req.Instance != "":
+		ent, err := s.resolveInstance(req.Instance)
+		if err != nil {
+			if _, ok := err.(*RequestError); ok {
+				return nil, 0, "", err
+			}
+			return nil, 0, "", badRequest("building instance %s: %v", req.Instance, err)
+		}
+		width := req.Width
+		if width == 0 {
+			width = ent.routableW
+		}
+		if width < 1 {
+			return nil, 0, "", badRequest("width must be >= 1, got %d", width)
+		}
+		return ent.g, width, req.Instance, nil
+	case req.Graph != "":
+		g, err := graph.ParseDIMACS(strings.NewReader(req.Graph))
+		if err != nil {
+			return nil, 0, "", badRequest("parsing graph: %v", err)
+		}
+		if req.Width < 1 {
+			return nil, 0, "", badRequest("width must be >= 1 with an inline graph, got %d", req.Width)
+		}
+		return g, req.Width, "", nil
+	default:
+		return nil, 0, "", badRequest("request names neither an instance nor a graph")
+	}
+}
+
+// resolveRun translates the request's solve knobs into the lane set
+// and hardened-portfolio options the workers execute with.
+func (s *Server) resolveRun(req *SolveRequest) ([]core.Strategy, portfolio.Options, error) {
+	var strategies []core.Strategy
+	switch {
+	case req.Portfolio && req.Strategy != "":
+		return nil, portfolio.Options{}, badRequest("portfolio and strategy are mutually exclusive")
+	case req.Portfolio:
+		ss, err := portfolio.PaperPortfolio3()
+		if err != nil {
+			return nil, portfolio.Options{}, err
+		}
+		strategies = ss
+	default:
+		spec := req.Strategy
+		if spec == "" {
+			spec = DefaultStrategy
+		}
+		st, err := core.ParseStrategy(spec)
+		if err != nil {
+			return nil, portfolio.Options{}, badRequest("%v", err)
+		}
+		strategies = []core.Strategy{st}
+	}
+	lanes := req.Lanes
+	if req.Share && lanes < 2 {
+		lanes = 2 // sharing needs same-strategy peers
+	}
+	if lanes > 1 {
+		strategies = portfolio.Replicate(strategies, lanes)
+	}
+
+	popts := portfolio.Options{
+		Metrics:     s.reg,
+		Verify:      req.Verify || s.opts.Verify,
+		VerifyUnsat: req.Verify || s.opts.Verify,
+		MaxRetries:  req.MaxRetries,
+		Seed:        req.Seed,
+		LaneTimeout: time.Duration(req.LaneTimeoutMS) * time.Millisecond,
+		Solver:      sat.Options{ConflictBudget: req.ConflictBudget},
+	}
+	if req.MaxRetries > 0 {
+		popts.RetrySchedule = robust.LubyRetry
+	}
+	if req.Share {
+		popts.Share = &share.Options{}
+	}
+	return strategies, popts, nil
+}
+
+// Lookup returns a job by ID.
+func (s *Server) Lookup(id string) (*Job, bool) { return s.jobs.get(id) }
+
+// JobCount returns the number of jobs currently retained in the table.
+func (s *Server) JobCount() int { return s.jobs.len() }
+
+// worker drains one shard's queue until Drain closes it. Each job runs
+// under the server's base context capped by the job deadline; the
+// solve itself is further supervised by portfolio.RunHardened.
+func (s *Server) worker(sh *shard) {
+	defer s.workers.Done()
+	for job := range sh.queue {
+		sh.busy.Add(1)
+		s.runJob(sh, job)
+		sh.busy.Add(-1)
+	}
+}
+
+// runJob executes one job end to end and publishes its result.
+func (s *Server) runJob(sh *shard, job *Job) {
+	started := time.Now()
+	job.mu.Lock()
+	queued := started.Sub(job.view.SubmittedAt)
+	job.view.State = StateRunning
+	job.view.QueuedMS = queued.Milliseconds()
+	job.mu.Unlock()
+	s.reg.Timer(MetricQueueWait).Observe(queued)
+
+	ctx, cancel := context.WithDeadline(s.baseCtx, job.deadline)
+	popts := job.popts
+	popts.Pool = &sh.pool
+	span := s.reg.StartSpan(MetricSolve)
+	winner, all, err := portfolio.RunHardened(ctx, job.g, job.width, job.strategies, popts)
+	elapsed := span.End()
+	deadlineExceeded := ctx.Err() == context.DeadlineExceeded
+	cancel()
+
+	job.mu.Lock()
+	v := &job.view
+	v.State = StateDone
+	v.SolveMS = elapsed.Milliseconds()
+	v.Lanes = laneViews(all)
+	switch {
+	case err == nil && winner.Status == sat.Sat:
+		v.Answer = AnswerRoutable
+		v.Winner = winner.Strategy.Name()
+		v.Attempts = winner.Attempts
+		if job.wantColors {
+			v.Colors = winner.Colors
+		}
+	case err == nil && winner.Status == sat.Unsat:
+		v.Answer = AnswerUnroutable
+		v.Winner = winner.Strategy.Name()
+		v.Attempts = winner.Attempts
+	default:
+		v.Answer = AnswerUndecided
+		v.Attempts = maxAttempts(all)
+		if err != nil {
+			v.Error = err.Error()
+		}
+		if deadlineExceeded {
+			v.TimedOut = true
+			s.reg.Counter(MetricJobsTimeout).Inc()
+		} else {
+			s.reg.Counter(MetricJobsFailed).Inc()
+		}
+	}
+	job.finished = time.Now()
+	job.mu.Unlock()
+	s.reg.Counter(MetricJobsCompleted).Inc()
+	close(job.done)
+}
+
+// laneViews condenses the per-lane portfolio results for the job view.
+func laneViews(all []portfolio.Result) []LaneView {
+	out := make([]LaneView, len(all))
+	for i, r := range all {
+		out[i] = LaneView{
+			Strategy:  r.Strategy.Name(),
+			Status:    r.Status.String(),
+			Attempts:  r.Attempts,
+			Conflicts: r.Stats.Conflicts,
+			ElapsedMS: r.Elapsed.Milliseconds(),
+		}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
+		}
+	}
+	return out
+}
+
+// maxAttempts reports the largest per-lane attempt count — the
+// "partial attempt info" an undecided job still carries.
+func maxAttempts(all []portfolio.Result) int {
+	max := 0
+	for _, r := range all {
+		if r.Attempts > max {
+			max = r.Attempts
+		}
+	}
+	return max
+}
+
+// janitor garbage-collects completed jobs past their retention and
+// enforces the table cap between scrapes.
+func (s *Server) janitor() {
+	defer close(s.gcDone)
+	t := time.NewTicker(s.opts.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.jobs.gc(time.Now().Add(-s.opts.RetainJobs), s.opts.MaxJobs)
+		case <-s.stopGC:
+			return
+		}
+	}
+}
+
+// Drain performs the graceful shutdown: admission stops, queued and
+// in-flight jobs run to completion, then workers exit. If ctx expires
+// first, the base context is cancelled so in-flight solves unwind
+// promptly (their jobs complete as UNDECIDED), and Drain still waits
+// for the workers before returning ctx's error. Drain is idempotent;
+// concurrent calls all block until the drain finishes.
+func (s *Server) Drain(ctx context.Context) error {
+	s.admit.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+		close(s.stopGC)
+	}
+	s.admit.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		<-s.gcDone
+		return nil
+	case <-ctx.Done():
+		s.cancelBase() // abort in-flight solves; they exit via cancellation polling
+		<-done
+		<-s.gcDone
+		return ctx.Err()
+	}
+}

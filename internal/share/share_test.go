@@ -33,10 +33,10 @@ func TestFilterDedupAndFlow(t *testing.T) {
 		t.Fatalf("peers = %d/%d, want 1/1", l0.Peers(), l1.Peers())
 	}
 
-	l0.Learnt(lits(1, 2, 3), 5)     // LBD above bound: filtered
-	l0.Learnt(lits(1, 2, 3, 4), 1)  // too long: filtered
-	l0.Learnt(lits(1, 2, 3), 2)     // exported
-	l0.Learnt(lits(3, 1, 2), 2)     // same literal set, reordered: duplicate
+	l0.Learnt(lits(1, 2, 3), 5)    // LBD above bound: filtered
+	l0.Learnt(lits(1, 2, 3, 4), 1) // too long: filtered
+	l0.Learnt(lits(1, 2, 3), 2)    // exported
+	l0.Learnt(lits(3, 1, 2), 2)    // same literal set, reordered: duplicate
 	l0.Restart(func([]sat.Lit, int32) bool { return false })
 
 	st := ex.Stats()
