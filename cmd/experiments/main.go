@@ -59,14 +59,15 @@ func main() {
 		scaleRun   = flag.Bool("scale", false, "scaling study: generate and encode tile-templated instances far beyond the MCNC suite")
 		scaleFacts = flag.String("scale-factors", "1,10,100", "with -scale: comma-separated scale multipliers")
 		scaleEnc   = flag.String("scale-encoding", "", "with -scale: encoding to stream (default ITE-linear-2+muldirect)")
+		bandwidth  = flag.Bool("bandwidth", false, "bandwidth-coloring study: crosstalk instances solved to their minimum span per encoding")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *figure1, *table2, *routable, *portfolio = true, true, true, true, true
-		*sizes, *solvers, *trees, *symAbl, *baselines, *shareCmp, *scaleRun = true, true, true, true, true, true, true
+		*sizes, *solvers, *trees, *symAbl, *baselines, *shareCmp, *scaleRun, *bandwidth = true, true, true, true, true, true, true, true
 	}
 	if !*table1 && !*figure1 && !*table2 && !*routable && !*portfolio &&
-		!*sizes && !*solvers && !*trees && !*symAbl && !*baselines && !*shareCmp && !*scaleRun {
+		!*sizes && !*solvers && !*trees && !*symAbl && !*baselines && !*shareCmp && !*scaleRun && !*bandwidth {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -224,6 +225,29 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("wrote scaling benchmark record to %s\n\n", *benchOut)
+		}
+	}
+	if *bandwidth {
+		r, err := experiments.RunBandwidth(experiments.BandwidthConfig{
+			Timeout: *timeout, Progress: progress, Pool: pool,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Markdown())
+		if *benchOut != "" && !*shareCmp && !*scaleRun {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote bandwidth benchmark record to %s\n\n", *benchOut)
 		}
 	}
 	if *sizes {

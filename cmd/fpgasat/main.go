@@ -93,6 +93,7 @@ func main() {
 	start := time.Now()
 	span := reg.StartSpan("pipeline.translate")
 	var gr *fpga.GlobalRouting
+	var g *graph.Graph
 	name := *instName
 	if *netFile != "" {
 		gr = loadExternal(*netFile, *rtFile)
@@ -100,6 +101,7 @@ func main() {
 		if *w == 0 {
 			log.Fatal("-w is required with -netlist")
 		}
+		g = gr.ConflictGraph()
 	} else {
 		in, err := mcnc.ByName(*instName)
 		if err != nil {
@@ -108,12 +110,14 @@ func main() {
 		if *w == 0 {
 			*w = in.RoutableW
 		}
-		gr, _, err = in.Build()
+		// Build returns the instance's conflict graph with crosstalk
+		// distances applied; recomputing it via ConflictGraph() would
+		// silently drop them.
+		gr, g, err = in.Build()
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	g := gr.ConflictGraph()
 	span.End()
 	fmt.Printf("instance %s: %dx%d array, %d nets, %d 2-pin nets\n",
 		name, gr.Netlist.Arch.Cols, gr.Netlist.Arch.Rows, len(gr.Netlist.Nets), len(gr.Routes))

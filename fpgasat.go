@@ -249,6 +249,17 @@ const (
 // PaperEncodingNames lists the paper's 14 encodings (plus direct).
 var PaperEncodingNames = core.PaperEncodingNames
 
+// BandwidthEncodingNames lists the encodings of the bandwidth-coloring
+// (distance-constraint) study: the order/ladder encoding plus the
+// distance-aware direct and log encodings.
+var BandwidthEncodingNames = core.BandwidthEncodingNames
+
+// NewOrder returns the order (ladder) encoding: value v is represented
+// by the unary threshold variables ge_i ≡ (v ≥ i), the natural home of
+// distance constraints |c(u)−c(v)| ≥ d. Also reachable as "order" or
+// "ladder" through EncodingByName and ParseStrategy.
+func NewOrder() Encoding { return core.NewOrder() }
+
 // EncodingByName returns an encoding by its paper-style name, e.g.
 // "ITE-linear-2+muldirect".
 func EncodingByName(name string) (Encoding, error) { return core.ByName(name) }
@@ -352,6 +363,14 @@ func GraphFromEdgeStream(n int, stream func(emit func(u, v int))) *Graph {
 	return graph.FromEdgeStream(n, stream)
 }
 
+// GraphFromWeightedEdgeStream is GraphFromEdgeStream for
+// bandwidth-coloring instances: each emitted edge carries a distance
+// d ≥ 1 (duplicates merge to the larger distance, and an all-1 stream
+// normalizes to an unweighted graph).
+func GraphFromWeightedEdgeStream(n int, stream func(emit func(u, v, d int))) *Graph {
+	return graph.FromWeightedEdgeStream(n, stream)
+}
+
 // RouteGlobal computes a global routing with negotiated congestion.
 // The boolean reports whether the occupancy target was met.
 func RouteGlobal(nl *Netlist, opts RouteOptions) (*GlobalRouting, bool, error) {
@@ -418,6 +437,11 @@ func RunPortfolioHardened(ctx context.Context, g *Graph, k int, strategies []Str
 
 // PaperPortfolio3 returns the paper's three-strategy portfolio.
 func PaperPortfolio3() ([]Strategy, error) { return portfolio.PaperPortfolio3() }
+
+// BandwidthPortfolio returns the lane set for bandwidth-coloring
+// instances (order, distance-aware direct and log; no symmetry
+// breaking, which is unsound under distance constraints).
+func BandwidthPortfolio() ([]Strategy, error) { return portfolio.BandwidthPortfolio() }
 
 // PaperPortfolio2 returns the paper's two-strategy portfolio (the
 // first two members of PaperPortfolio3).

@@ -187,3 +187,63 @@ func TestPublicAPIObservability(t *testing.T) {
 	}
 	_ = progressCalls // tiny instances may finish before the first poll interval
 }
+
+// TestPublicAPIBandwidth drives the bandwidth-coloring flow through
+// the facade: a weighted graph built from a distance edge stream,
+// solved by the bandwidth portfolio through a Session, minimized with
+// the incremental width search under the order encoding, and
+// round-tripped through weighted DIMACS.
+func TestPublicAPIBandwidth(t *testing.T) {
+	// A distance-2 5-cycle: chromatic number 3, bandwidth minimum 5
+	// (e.g. colors 0 2 0 2 4).
+	g := fpgasat.GraphFromWeightedEdgeStream(5, func(emit func(u, v, d int)) {
+		for i := 0; i < 5; i++ {
+			emit(i, (i+1)%5, 2)
+		}
+	})
+	if !g.Weighted() || g.MaxEdgeWeight() != 2 {
+		t.Fatalf("weighted stream produced Weighted()=%v max=%d", g.Weighted(), g.MaxEdgeWeight())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	session := fpgasat.NewSession(nil)
+	lanes := fpgasat.MustStrategies(fpgasat.BandwidthPortfolio())
+	winner, _, err := session.Portfolio(ctx, g, 5, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner.Status != fpgasat.Sat {
+		t.Fatalf("bandwidth portfolio at width 5: %v", winner.Status)
+	}
+	if err := fpgasat.VerifyColoring(g, winner.Colors, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	order, err := fpgasat.ParseStrategy("ladder/-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := session.MinWidth(ctx, g, fpgasat.SearchOptions{Strategy: order, Hi: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinWidth != 5 || !res.ProvedOptimal {
+		t.Fatalf("MinWidth=%d proved=%v, want 5/true", res.MinWidth, res.ProvedOptimal)
+	}
+
+	var buf bytes.Buffer
+	if err := fpgasat.WriteGraphDIMACS(&buf, g, "bandwidth api test"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "e 1 2 2") {
+		t.Fatalf("weighted DIMACS lacks distances:\n%s", buf.String())
+	}
+	g2, err := fpgasat.ParseGraphDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Weighted() || g2.MaxEdgeWeight() != 2 || g2.M() != g.M() {
+		t.Fatal("weighted DIMACS roundtrip mismatch")
+	}
+}

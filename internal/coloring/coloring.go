@@ -14,7 +14,9 @@ import (
 )
 
 // Verify checks that colors is a proper coloring of g using at most k
-// colors (values 0..k-1, one per vertex). A nil error means proper.
+// colors (values 0..k-1, one per vertex). On weighted graphs the check
+// is the bandwidth-coloring condition |colors[u]-colors[v]| >= d for
+// every edge distance d. A nil error means proper.
 func Verify(g *graph.Graph, colors []int, k int) error {
 	if len(colors) != g.N() {
 		return fmt.Errorf("coloring: %d colors for %d vertices", len(colors), g.N())
@@ -25,10 +27,23 @@ func Verify(g *graph.Graph, colors []int, k int) error {
 		}
 	}
 	var bad error
-	g.ForEachEdge(func(u, v int) {
-		if bad == nil && colors[u] == colors[v] {
+	g.ForEachWeightedEdge(func(u, v, d int) {
+		if bad != nil {
+			return
+		}
+		diff := colors[u] - colors[v]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff >= d {
+			return
+		}
+		if d == 1 {
 			bad = fmt.Errorf("coloring: edge {%d,%d} monochromatic (color %d)",
 				u, v, colors[u])
+		} else {
+			bad = fmt.Errorf("coloring: edge {%d,%d} colors %d,%d closer than distance %d",
+				u, v, colors[u], colors[v], d)
 		}
 	})
 	return bad

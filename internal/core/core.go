@@ -74,6 +74,12 @@ func abs(x int) int {
 // {0,...,Domain[v]-1} so that adjacent vertices differ. K is the
 // number of colors (tracks); Domain[v] <= K always, and symmetry
 // breaking shrinks the domains of selected vertices.
+//
+// When G carries per-edge distance weights (graph.Weighted), the
+// constraint generalizes to bandwidth coloring: adjacent vertices must
+// satisfy |color(u)-color(v)| >= Dist(u,v). Unweighted graphs have
+// Dist ≡ 1, which is exactly the classic disequality CSP — every
+// encoding emits a byte-identical clause stream for that case.
 type CSP struct {
 	G      *graph.Graph
 	K      int
@@ -114,8 +120,14 @@ func (c *CSP) ApplySequence(seq []int) {
 	}
 }
 
-// Verify reports whether colors is a solution of the CSP (proper and
-// within every domain).
+// Dist returns the distance constraint of edge {u,v}: colors must
+// satisfy |color(u)-color(v)| >= Dist(u,v). It is 1 for every edge of
+// an unweighted graph and 0 for non-edges.
+func (c *CSP) Dist(u, v int) int { return c.G.EdgeWeight(u, v) }
+
+// Verify reports whether colors is a solution of the CSP (within every
+// domain, and every edge's distance constraint satisfied; for
+// unweighted graphs that is the classic properness check).
 func (c *CSP) Verify(colors []int) error {
 	if len(colors) != c.G.N() {
 		return fmt.Errorf("core: %d colors for %d vertices", len(colors), c.G.N())
@@ -126,9 +138,22 @@ func (c *CSP) Verify(colors []int) error {
 		}
 	}
 	var bad error
-	c.G.ForEachEdge(func(u, v int) {
-		if bad == nil && colors[u] == colors[v] {
+	c.G.ForEachWeightedEdge(func(u, v, d int) {
+		if bad != nil {
+			return
+		}
+		diff := colors[u] - colors[v]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff >= d {
+			return
+		}
+		if d == 1 {
 			bad = fmt.Errorf("core: edge {%d,%d} monochromatic", u, v)
+		} else {
+			bad = fmt.Errorf("core: edge {%d,%d} colors %d,%d closer than distance %d",
+				u, v, colors[u], colors[v], d)
 		}
 	})
 	return bad

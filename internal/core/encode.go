@@ -57,18 +57,26 @@ func EncodeInto(csp *CSP, enc Encoding, sink ClauseSink) *Streamed {
 		cubes[v] = vc
 	}
 	structural := cs.n
-	csp.G.ForEachEdge(func(u, v int) {
-		common := csp.Domain[u]
-		if csp.Domain[v] < common {
-			common = csp.Domain[v]
-		}
-		for c := 0; c < common; c++ {
-			cl := cubes[u][c].AppendNegated(a.buf[:0])
-			cl = cubes[v][c].AppendNegated(cl)
-			a.buf = cl
-			cs.AddClause(cl...)
-		}
-	})
+	if csp.G.Weighted() {
+		emitDistanceConflicts(csp, enc, cubes, a, cs)
+	} else {
+		// Classic disequality: one conflict clause per edge per common
+		// domain value. This loop is kept verbatim — unweighted CSPs must
+		// emit byte-identical clause streams to the pre-distance encoder
+		// (pinned by TestPinnedClauseStreams).
+		csp.G.ForEachEdge(func(u, v int) {
+			common := csp.Domain[u]
+			if csp.Domain[v] < common {
+				common = csp.Domain[v]
+			}
+			for c := 0; c < common; c++ {
+				cl := cubes[u][c].AppendNegated(a.buf[:0])
+				cl = cubes[v][c].AppendNegated(cl)
+				a.buf = cl
+				cs.AddClause(cl...)
+			}
+		})
+	}
 	return &Streamed{
 		Encoding:          enc,
 		CSP:               csp,

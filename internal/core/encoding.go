@@ -268,10 +268,21 @@ func parseEncodingName(name string) (Encoding, error) {
 }
 
 // ByName returns the encoding with the given paper-style name, e.g.
-// "muldirect", "ITE-log-2+ITE-linear" or "direct-3+muldirect".
+// "muldirect", "ITE-log-2+ITE-linear" or "direct-3+muldirect". The
+// order encoding of the bandwidth-coloring family answers to "order"
+// and its ladder alias.
 func ByName(name string) (Encoding, error) {
+	if name == "order" || name == "ladder" {
+		return NewOrder(), nil
+	}
 	return parseEncodingName(name)
 }
+
+// BandwidthEncodingNames lists the encodings the bandwidth-coloring
+// (distance-constraint) study compares: the order encoding, whose
+// interval clauses are distance-native, and the distance-aware
+// pairwise variants of direct and log.
+var BandwidthEncodingNames = []string{"order", "direct", "log"}
 
 // PaperEncodingNames lists the 14 encodings of the paper in its order:
 // the 2 previously used ones (log, muldirect) preceded by direct, then

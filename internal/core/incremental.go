@@ -65,6 +65,10 @@ func EncodeIncremental(csp *CSP, enc Encoding, lo int, sink ClauseSink) *Increme
 	for i := 0; i+1 < n; i++ {
 		cs.AddClause(-inc.selectors[i], inc.selectors[i+1])
 	}
+	// An encoding with native order literals shortens the guard to a
+	// single ¬(color >= w) literal; cube encodings guard by negating the
+	// value-w cube (the staircase chain covers the widths above w).
+	guard, _ := enc.(incrementalGuard)
 	var buf []int // scratch; sinks copy what they keep
 	for w := lo; w < csp.K; w++ {
 		sel := inc.selectors[w-lo]
@@ -73,7 +77,11 @@ func EncodeIncremental(csp *CSP, enc Encoding, lo int, sink ClauseSink) *Increme
 				continue
 			}
 			buf = append(buf[:0], -sel)
-			buf = st.Cubes[v][w].AppendNegated(buf)
+			if guard != nil {
+				buf = guard.guardLits(st.Cubes[v], w, buf)
+			} else {
+				buf = st.Cubes[v][w].AppendNegated(buf)
+			}
 			cs.AddClause(buf...)
 		}
 	}

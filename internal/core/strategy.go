@@ -43,10 +43,17 @@ func ParseStrategy(spec string) (Strategy, error) {
 }
 
 // BuildCSP creates the k-coloring CSP for g with the symmetry-breaking
-// domain restrictions of h applied.
+// domain restrictions of h applied. Weighted (bandwidth-coloring)
+// graphs skip symmetry breaking regardless of h: the clique-based
+// domain restrictions assume any color permutation maps solutions to
+// solutions, but distance constraints are only invariant under
+// translation and reflection, so restricting clique vertices to color
+// prefixes would cut off real solutions.
 func BuildCSP(g *graph.Graph, k int, h symmetry.Heuristic) *CSP {
 	csp := NewCSP(g, k)
-	csp.ApplySequence(symmetry.Sequence(g, k, h))
+	if !g.Weighted() {
+		csp.ApplySequence(symmetry.Sequence(g, k, h))
+	}
 	return csp
 }
 

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -151,10 +150,33 @@ func fmtBytes(n int) string {
 	}
 }
 
+// Report converts the study to the unified bench envelope: one series
+// per metric, one point per scale factor.
+func (r *ScaleResult) Report() *BenchReport {
+	labels := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = fmt.Sprintf("%dx", row.Factor)
+	}
+	rows := r.Rows
+	return &BenchReport{
+		Schema: BenchSchema,
+		Bench:  r.Bench,
+		Meta:   newBenchMeta(map[string]string{"encoding": r.Encoding}),
+		Series: []BenchSeries{
+			series("nets", "count", labels, func(i int) float64 { return float64(rows[i].Nets) }),
+			series("edges", "count", labels, func(i int) float64 { return float64(rows[i].Edges) }),
+			series("graph_bytes", "bytes", labels, func(i int) float64 { return float64(rows[i].GraphBytes) }),
+			series("gen_ns", "ns", labels, func(i int) float64 { return float64(rows[i].GenNS) }),
+			series("encode_ns", "ns", labels, func(i int) float64 { return float64(rows[i].EncodeNS) }),
+			series("vars", "count", labels, func(i int) float64 { return float64(rows[i].Vars) }),
+			series("clauses", "count", labels, func(i int) float64 { return float64(rows[i].Clauses) }),
+			series("clauses_per_sec", "1/s", labels, func(i int) float64 { return rows[i].ClausesPerSc }),
+		},
+	}
+}
+
 // WriteJSON emits the machine-readable benchmark record
-// (BENCH_scale.json).
+// (BENCH_scale.json) in the unified bench schema.
 func (r *ScaleResult) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+	return r.Report().WriteJSON(w)
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -210,10 +209,41 @@ func (r *ShareCompareResult) Markdown() string {
 	return sb.String()
 }
 
+// Report converts the study to the unified bench envelope: one series
+// per metric, one point per instance, with the study knobs and totals
+// in the metadata params.
+func (r *ShareCompareResult) Report() *BenchReport {
+	labels := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = row.Instance
+	}
+	rows := r.Rows
+	return &BenchReport{
+		Schema: BenchSchema,
+		Bench:  r.Bench,
+		Meta: newBenchMeta(map[string]string{
+			"strategy":        r.Strategy,
+			"lanes":           fmt.Sprintf("%d", r.Lanes),
+			"seed":            fmt.Sprintf("%d", r.Seed),
+			"repeats":         fmt.Sprintf("%d", r.Repeats),
+			"total_blind_ns":  fmt.Sprintf("%d", r.TotalBlindNS),
+			"total_shared_ns": fmt.Sprintf("%d", r.TotalSharedNS),
+			"total_speedup":   fmt.Sprintf("%g", r.TotalSpeedup),
+		}),
+		Series: []BenchSeries{
+			series("blind_ns", "ns", labels, func(i int) float64 { return float64(rows[i].BlindNS) }),
+			series("shared_ns", "ns", labels, func(i int) float64 { return float64(rows[i].SharedNS) }),
+			series("speedup", "ratio", labels, func(i int) float64 { return rows[i].Speedup }),
+			series("blind_conflicts", "count", labels, func(i int) float64 { return float64(rows[i].BlindConflicts) }),
+			series("shared_conflicts", "count", labels, func(i int) float64 { return float64(rows[i].SharedConflicts) }),
+			series("exported", "count", labels, func(i int) float64 { return float64(rows[i].Exported) }),
+			series("imported", "count", labels, func(i int) float64 { return float64(rows[i].Imported) }),
+		},
+	}
+}
+
 // WriteJSON emits the machine-readable benchmark record
-// (BENCH_portfolio.json).
+// (BENCH_portfolio.json) in the unified bench schema.
 func (r *ShareCompareResult) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+	return r.Report().WriteJSON(w)
 }

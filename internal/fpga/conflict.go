@@ -44,6 +44,57 @@ func (gr *GlobalRouting) ConflictGraph() *graph.Graph {
 	return b.Freeze()
 }
 
+// ConflictGraphXtalk is ConflictGraph with crosstalk-aware spacing
+// constraints: pairs of routes that run alongside each other through
+// two or more common connection blocks (a long parallel coupling run)
+// get a distance-xtalk edge — their tracks must differ by at least
+// xtalk — while single-crossing pairs keep the plain exclusivity edge
+// (distance 1). xtalk <= 1 degenerates to ConflictGraph. The result is
+// the bandwidth-coloring CSP graph of the spacing-aware track
+// assignment problem.
+func (gr *GlobalRouting) ConflictGraphXtalk(xtalk int) *graph.Graph {
+	if xtalk <= 1 {
+		return gr.ConflictGraph()
+	}
+	b := graph.NewBuilder(len(gr.Routes))
+	b.Labels = make([]string, len(gr.Routes))
+	for i, r := range gr.Routes {
+		b.Labels[i] = r.Label(gr.Netlist)
+	}
+	bySeg := make([][]int, gr.Netlist.Arch.NumSegs())
+	for ri, r := range gr.Routes {
+		seen := map[SegID]bool{}
+		for _, s := range r.Segs {
+			if !seen[s] {
+				seen[s] = true
+				bySeg[s] = append(bySeg[s], ri)
+			}
+		}
+	}
+	// Count shared connection blocks per conflicting pair; two or more
+	// means coupled.
+	type pair struct{ a, b int }
+	shared := map[pair]int{}
+	for _, routes := range bySeg {
+		for i := 0; i < len(routes); i++ {
+			for j := i + 1; j < len(routes); j++ {
+				ri, rj := gr.Routes[routes[i]], gr.Routes[routes[j]]
+				if ri.Net != rj.Net {
+					shared[pair{routes[i], routes[j]}]++
+				}
+			}
+		}
+	}
+	for p, cnt := range shared {
+		d := 1
+		if cnt >= 2 {
+			d = xtalk
+		}
+		b.AddWeightedEdge(p.a, p.b, d)
+	}
+	return b.Freeze()
+}
+
 // DetailedRouting is a global routing plus a track assignment: 2-pin
 // net i runs on track Tracks[i] (the same track in every connection
 // block it crosses, thanks to subset switch blocks).

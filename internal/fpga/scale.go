@@ -54,6 +54,15 @@ type ScaleParams struct {
 	// is instantiated, in (0,1]. 0 means 1.0 (full). Selection rotates
 	// with the tile index so dropped templates vary across the fabric.
 	Utilization float64
+	// Crosstalk turns the instance into a bandwidth-coloring problem:
+	// every pair of templates sharing a physical segment must sit at
+	// least Crosstalk tracks apart (|track(u)-track(v)| >= Crosstalk).
+	// 0 and 1 are the classic disequality instance. At full utilization
+	// the calibrated minimum width becomes
+	// (ChannelWidth-1)*Crosstalk + 1: the W-clique on each interior
+	// segment needs a color span of (W-1)*Crosstalk, and spreading
+	// BlockColoring by the Crosstalk stride witnesses sufficiency.
+	Crosstalk int
 }
 
 // ScaleStats summarizes a generated instance for benchmark reports.
@@ -76,8 +85,16 @@ func (p ScaleParams) validate() error {
 	if p.Utilization < 0 || p.Utilization > 1 {
 		return fmt.Errorf("fpga: utilization %g outside (0,1]", p.Utilization)
 	}
+	if p.Crosstalk < 0 || p.Crosstalk > MaxCrosstalk {
+		return fmt.Errorf("fpga: crosstalk %d outside [0,%d]", p.Crosstalk, MaxCrosstalk)
+	}
 	return nil
 }
+
+// MaxCrosstalk caps the crosstalk spacing a scaled instance may
+// request: widths grow linearly with it, so the cap bounds the encoded
+// formula size like the registry caps bound generator work.
+const MaxCrosstalk = 64
 
 // templatePairs interns the conflict structure of the template library
 // for one channel width: every pair list is in template-index space
@@ -193,7 +210,7 @@ func GenerateScaled(p ScaleParams) (*graph.Graph, ScaleStats, error) {
 	vertex := func(tile, tmpl int) int {
 		return tile*keep + rank[tile%t][tmpl]
 	}
-	g := graph.FromEdgeStream(n, func(emit func(u, v int)) {
+	edges := func(emit func(u, v int)) {
 		for y := 0; y < p.Rows; y++ {
 			for x := 0; x < p.Cols; x++ {
 				tile := y*p.Cols + x
@@ -223,7 +240,17 @@ func GenerateScaled(p ScaleParams) (*graph.Graph, ScaleStats, error) {
 				}
 			}
 		}
-	})
+	}
+	var g *graph.Graph
+	if p.Crosstalk >= 2 {
+		// Every conflict is a shared physical segment, so the spacing
+		// constraint applies uniformly to all edges.
+		g = graph.FromWeightedEdgeStream(n, func(emit func(u, v, d int)) {
+			edges(func(u, v int) { emit(u, v, p.Crosstalk) })
+		})
+	} else {
+		g = graph.FromEdgeStream(n, edges)
+	}
 
 	stats := ScaleStats{
 		Rows: p.Rows, Cols: p.Cols, ChannelWidth: p.ChannelWidth,
@@ -284,19 +311,40 @@ func maxSegmentOccupancy(p ScaleParams, rank [][]int, d int) int {
 
 // BlockColoring returns the closed-form proper coloring of a
 // full-utilization scaled instance: template group*d+copy gets color
-// group*d+copy, using exactly ChannelWidth colors. It is the witness
-// that the instance's minimum channel width is at most W (CliqueLB
-// shows it is at least W).
+// group*d+copy, using exactly ChannelWidth colors. With Crosstalk
+// spacing s >= 2 the colors are spread by the stride s (template tmpl
+// gets color tmpl*s): conflicting templates have distinct template
+// indices, so their colors differ by at least s, witnessing that
+// MinRoutableWidth tracks suffice. It is the witness that the
+// instance's minimum channel width is at most MinRoutableWidth
+// (CliqueLB shows the clique needs at least that span).
 func BlockColoring(p ScaleParams) []int {
 	d := p.ChannelWidth / 4
 	t := 4 * d
+	stride := p.Crosstalk
+	if stride < 1 {
+		stride = 1
+	}
 	colors := make([]int, p.Rows*p.Cols*t)
 	for tile := 0; tile < p.Rows*p.Cols; tile++ {
 		for tmpl := 0; tmpl < t; tmpl++ {
-			colors[tile*t+tmpl] = tmpl
+			colors[tile*t+tmpl] = tmpl * stride
 		}
 	}
 	return colors
+}
+
+// MinRoutableWidth returns the calibrated minimum channel width of a
+// full-utilization scaled instance: ChannelWidth for the classic
+// disequality case, (ChannelWidth-1)*Crosstalk + 1 under crosstalk
+// spacing (a W-clique with pairwise distance s spans (W-1)*s+1 tracks,
+// and the strided BlockColoring achieves it).
+func (p ScaleParams) MinRoutableWidth() int {
+	s := p.Crosstalk
+	if s < 1 {
+		s = 1
+	}
+	return (p.ChannelWidth-1)*s + 1
 }
 
 // ScaledFabric returns the canonical scale-study parameters for a given

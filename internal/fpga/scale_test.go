@@ -124,3 +124,45 @@ func TestScaledFabricGrowth(t *testing.T) {
 		t.Fatalf("100x fabric has only %d nets, want >= 1e5", stats.Nets)
 	}
 }
+
+func TestGenerateScaledCrosstalk(t *testing.T) {
+	p := ScaleParams{Rows: 3, Cols: 3, ChannelWidth: 4, Utilization: 1, Crosstalk: 3}
+	g, stats, err := GenerateScaled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("crosstalk instance must be weighted")
+	}
+	if g.MaxEdgeWeight() != 3 {
+		t.Fatalf("max edge distance %d, want 3", g.MaxEdgeWeight())
+	}
+	// The unweighted structure is unchanged: same nets and edges as the
+	// classic instance.
+	p0 := p
+	p0.Crosstalk = 0
+	g0, stats0, err := GenerateScaled(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nets != stats0.Nets || stats.Edges != stats0.Edges {
+		t.Fatalf("crosstalk changed the conflict structure: %d/%d vs %d/%d",
+			stats.Nets, stats.Edges, stats0.Nets, stats0.Edges)
+	}
+	if g0.Weighted() {
+		t.Fatal("crosstalk 0 must stay unweighted")
+	}
+	// The strided block coloring witnesses the calibrated width.
+	w := p.MinRoutableWidth()
+	if want := (4-1)*3 + 1; w != want {
+		t.Fatalf("MinRoutableWidth=%d, want %d", w, want)
+	}
+	if err := coloring.Verify(g, BlockColoring(p), w); err != nil {
+		t.Fatalf("strided block coloring invalid at width %d: %v", w, err)
+	}
+	// Crosstalk outside the cap is rejected.
+	p.Crosstalk = MaxCrosstalk + 1
+	if _, _, err := GenerateScaled(p); err == nil {
+		t.Fatal("over-cap crosstalk accepted")
+	}
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -9,16 +10,21 @@ import (
 // adjacency the package's Graph type used to expose directly — and
 // Freeze()s it into the immutable CSR Graph every consumer reads.
 // Self-loops are rejected (a 2-pin net cannot conflict with itself) and
-// parallel edges are merged.
+// parallel edges are merged; weighted parallel edges keep the largest
+// distance.
 //
 // Adjacency grows lazily: a Builder created for n vertices commits no
 // per-vertex storage until edges touch the vertices, which is what lets
 // the DIMACS parser accept a large declared vertex count without
 // allocating for it up front.
 type Builder struct {
-	n   int
-	adj []map[int32]struct{}
-	m   int
+	n int
+	// adj maps neighbor -> edge distance (1 for classic disequality
+	// edges). maxW tracks the largest distance added so Freeze knows
+	// whether a weight array is needed at all.
+	adj  []map[int32]int32
+	m    int
+	maxW int32
 
 	// Labels optionally names vertices; carried into the frozen Graph.
 	Labels []string
@@ -44,30 +50,53 @@ func (b *Builder) AddVertex() int {
 	return b.n - 1
 }
 
-// AddEdge inserts the undirected edge {u,v}. Adding an existing edge is
-// a no-op; self-loops panic since they would make the coloring CSP
-// trivially unsatisfiable by construction error. Out-of-range vertices
-// panic too: these are programmer errors under the taxonomy of
-// internal/robust — parse paths must validate before calling.
+// AddEdge inserts the undirected edge {u,v} with distance 1. Adding an
+// existing edge is a no-op (an existing larger distance is kept);
+// self-loops panic since they would make the coloring CSP trivially
+// unsatisfiable by construction error. Out-of-range vertices panic too:
+// these are programmer errors under the taxonomy of internal/robust —
+// parse paths must validate before calling.
 func (b *Builder) AddEdge(u, v int) {
+	b.AddWeightedEdge(u, v, 1)
+}
+
+// AddWeightedEdge inserts the undirected edge {u,v} with distance
+// d >= 1 (bandwidth coloring: |c(u)-c(v)| >= d). Re-adding an edge
+// keeps the largest distance seen — the tighter constraint wins.
+// Invalid distances panic like invalid vertices do.
+func (b *Builder) AddWeightedEdge(u, v, d int) {
 	if u == v {
 		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if d < 1 || d > math.MaxInt32 {
+		panic(fmt.Sprintf("graph: edge {%d,%d} has invalid distance %d", u, v, d))
 	}
 	b.check(u)
 	b.check(v)
 	b.grow(u)
 	b.grow(v)
 	if b.adj[u] == nil {
-		b.adj[u] = make(map[int32]struct{})
+		b.adj[u] = make(map[int32]int32)
 	}
-	if _, dup := b.adj[u][int32(v)]; dup {
+	w := int32(d)
+	if prev, dup := b.adj[u][int32(v)]; dup {
+		if w > prev {
+			b.adj[u][int32(v)] = w
+			b.adj[v][int32(u)] = w
+			if w > b.maxW {
+				b.maxW = w
+			}
+		}
 		return
 	}
 	if b.adj[v] == nil {
-		b.adj[v] = make(map[int32]struct{})
+		b.adj[v] = make(map[int32]int32)
 	}
-	b.adj[u][int32(v)] = struct{}{}
-	b.adj[v][int32(u)] = struct{}{}
+	b.adj[u][int32(v)] = w
+	b.adj[v][int32(u)] = w
+	if w > b.maxW {
+		b.maxW = w
+	}
 	b.m++
 }
 
@@ -90,7 +119,9 @@ func (b *Builder) Degree(v int) int {
 }
 
 // Freeze converts the accumulated adjacency into an immutable CSR
-// Graph. The builder remains usable afterwards (freezing copies).
+// Graph. The builder remains usable afterwards (freezing copies). A
+// builder whose edges all have distance 1 freezes into an unweighted
+// graph: the weight array only exists when a distance >= 2 occurs.
 func (b *Builder) Freeze() *Graph {
 	n := b.n
 	if n >= 1<<31-1 {
@@ -104,6 +135,10 @@ func (b *Builder) Freeze() *Graph {
 		offsets[v+1] += offsets[v]
 	}
 	neighbors := make([]int32, offsets[n])
+	var weights []int32
+	if b.maxW > 1 {
+		weights = make([]int32, offsets[n])
+	}
 	for v := 0; v < n && v < len(b.adj); v++ {
 		row := neighbors[offsets[v]:offsets[v+1]]
 		i := 0
@@ -112,8 +147,14 @@ func (b *Builder) Freeze() *Graph {
 			i++
 		}
 		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		if weights != nil {
+			wrow := weights[offsets[v]:offsets[v+1]]
+			for i, u := range row {
+				wrow[i] = b.adj[v][u]
+			}
+		}
 	}
-	g := &Graph{offsets: offsets, neighbors: neighbors, m: b.m}
+	g := &Graph{offsets: offsets, neighbors: neighbors, weights: weights, m: b.m}
 	if b.Labels != nil {
 		g.Labels = append([]string(nil), b.Labels...)
 	}
@@ -131,7 +172,7 @@ func (b *Builder) grow(v int) {
 		b.adj = b.adj[:v+1]
 		return
 	}
-	next := make([]map[int32]struct{}, v+1, growCap(len(b.adj), v+1))
+	next := make([]map[int32]int32, v+1, growCap(len(b.adj), v+1))
 	copy(next, b.adj)
 	b.adj = next[:v+1]
 }

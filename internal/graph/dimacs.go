@@ -16,10 +16,19 @@ import (
 // callers that really load larger graphs can raise it.
 var MaxParseVertices = 1 << 25
 
+// MaxParseDistance caps the per-edge distance ParseDIMACS accepts in
+// the weighted extension ("e u v d" lines). Distances beyond the color
+// domain are clamped by the encoders anyway, so a huge value only
+// inflates clause counts; the cap keeps hostile inputs from requesting
+// absurd windows.
+var MaxParseDistance = 1 << 20
+
 // WriteDIMACS writes the graph in the DIMACS edge format used by the
 // graph-coloring benchmark collections ("p edge N M" header, "e u v"
 // lines, vertices 1-based), the intermediate format of the paper's
-// two-step tool flow.
+// two-step tool flow. Weighted graphs use the bandwidth-coloring
+// extension: every edge line carries its distance as a fourth field
+// ("e u v d"), which ParseDIMACS round-trips.
 func WriteDIMACS(w io.Writer, g *Graph, comments ...string) error {
 	bw := bufio.NewWriter(w)
 	for _, c := range comments {
@@ -31,12 +40,21 @@ func WriteDIMACS(w io.Writer, g *Graph, comments ...string) error {
 		return err
 	}
 	var werr error
-	g.ForEachEdge(func(u, v int) {
-		if werr != nil {
-			return
-		}
-		_, werr = fmt.Fprintf(bw, "e %d %d\n", u+1, v+1)
-	})
+	if g.Weighted() {
+		g.ForEachWeightedEdge(func(u, v, d int) {
+			if werr != nil {
+				return
+			}
+			_, werr = fmt.Fprintf(bw, "e %d %d %d\n", u+1, v+1, d)
+		})
+	} else {
+		g.ForEachEdge(func(u, v int) {
+			if werr != nil {
+				return
+			}
+			_, werr = fmt.Fprintf(bw, "e %d %d\n", u+1, v+1)
+		})
+	}
 	if werr != nil {
 		return werr
 	}
@@ -44,12 +62,15 @@ func WriteDIMACS(w io.Writer, g *Graph, comments ...string) error {
 }
 
 // ParseDIMACS reads a DIMACS edge-format graph into CSR form. Duplicate
-// edges are merged; "n"-lines (vertex weights in some collections) are
-// skipped. The declared vertex count is validated against
-// MaxParseVertices, per-vertex storage is only committed as edges
-// reference vertices, and the number of edge lines read must match the
-// edge count the header declared — a mismatch is an input error, not a
-// silently wrong graph.
+// edges are merged (keeping the largest distance); "n"-lines (vertex
+// weights in some collections) are skipped. Edge lines may carry an
+// optional fourth field — the bandwidth-coloring distance d >= 1
+// ("e u v d"), bounded by MaxParseDistance — and a file whose distances
+// are all 1 parses to a plain unweighted graph. The declared vertex
+// count is validated against MaxParseVertices, per-vertex storage is
+// only committed as edges reference vertices, and the number of edge
+// lines read must match the edge count the header declared — a mismatch
+// is an input error, not a silently wrong graph.
 func ParseDIMACS(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
@@ -92,7 +113,7 @@ func ParseDIMACS(r io.Reader) (*Graph, error) {
 			if b == nil {
 				return nil, fmt.Errorf("graph: line %d: edge before header", line)
 			}
-			if len(fields) != 3 {
+			if len(fields) != 3 && len(fields) != 4 {
 				return nil, fmt.Errorf("graph: line %d: malformed edge %q", line, text)
 			}
 			u, err1 := strconv.Atoi(fields[1])
@@ -103,12 +124,24 @@ func ParseDIMACS(r io.Reader) (*Graph, error) {
 			if u == v {
 				return nil, fmt.Errorf("graph: line %d: self-loop %d", line, u)
 			}
+			d := 1
+			if len(fields) == 4 {
+				var err error
+				d, err = strconv.Atoi(fields[3])
+				if err != nil || d < 1 {
+					return nil, fmt.Errorf("graph: line %d: bad edge distance %q", line, text)
+				}
+				if d > MaxParseDistance {
+					return nil, fmt.Errorf("graph: line %d: edge distance %d exceeds limit %d",
+						line, d, MaxParseDistance)
+				}
+			}
 			edgeLines++
 			if edgeLines > declaredEdges {
 				return nil, fmt.Errorf("graph: line %d: more edge lines than the %d the header declared",
 					line, declaredEdges)
 			}
-			b.AddEdge(u-1, v-1)
+			b.AddWeightedEdge(u-1, v-1, d)
 		default:
 			return nil, fmt.Errorf("graph: line %d: unknown line type %q", line, fields[0])
 		}

@@ -77,3 +77,72 @@ func FuzzParseDIMACSGraph(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseWeightedDIMACS fuzzes the bandwidth-coloring extension of
+// the DIMACS parser ("e u v d" lines). On top of the CSR invariants it
+// checks the weight invariants: every accepted distance is in
+// [1, MaxParseDistance], stored symmetrically, the distance-1 normal
+// form holds (Weighted() iff some edge distance >= 2), and weighted
+// graphs survive a Write/Parse round trip with distances intact.
+func FuzzParseWeightedDIMACS(f *testing.F) {
+	seeds := []string{
+		"p edge 3 2\ne 1 2 2\ne 2 3 3\n",
+		"p edge 4 3\ne 1 2 1\ne 2 3 1\ne 3 4 1\n",   // all-1: unweighted normal form
+		"p edge 3 2\ne 1 2\ne 2 3 4\n",              // mixed plain and weighted lines
+		"p edge 3 3\ne 1 2 2\ne 2 1 5\ne 1 3 1\n",   // duplicate edge, larger distance wins
+		"p edge 2 1\ne 1 2 0\n",                     // distance < 1 (rejected)
+		"p edge 2 1\ne 1 2 -3\n",                    // negative distance (rejected)
+		"p edge 2 1\ne 1 2 1048577\n",               // beyond MaxParseDistance (rejected)
+		"p edge 2 1\ne 1 2 999999999999999999999\n", // overflow probe
+		"c bandwidth\np col 5 2\ne 1 5 7\ne 2 3 7\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseDIMACS(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		maxSeen := 0
+		g.ForEachWeightedEdge(func(u, v, d int) {
+			if d < 1 || d > MaxParseDistance {
+				t.Fatalf("edge {%d,%d} accepted with distance %d", u, v, d)
+			}
+			if g.EdgeWeight(u, v) != d || g.EdgeWeight(v, u) != d {
+				t.Fatalf("asymmetric distance on {%d,%d}: %d vs %d/%d",
+					u, v, d, g.EdgeWeight(u, v), g.EdgeWeight(v, u))
+			}
+			if d > maxSeen {
+				maxSeen = d
+			}
+		})
+		if g.Weighted() != (maxSeen >= 2) {
+			t.Fatalf("Weighted()=%v but max distance is %d — normal form violated", g.Weighted(), maxSeen)
+		}
+		if got := g.MaxEdgeWeight(); g.M() > 0 && got != maxSeen {
+			t.Fatalf("MaxEdgeWeight=%d, iteration saw %d", got, maxSeen)
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, g); err != nil {
+			t.Fatalf("WriteDIMACS: %v", err)
+		}
+		h, err := ParseDIMACS(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\n%s", err, buf.String())
+		}
+		if h.N() != g.N() || h.M() != g.M() || h.Weighted() != g.Weighted() {
+			t.Fatalf("round-trip changed shape: N %d->%d M %d->%d W %v->%v",
+				g.N(), h.N(), g.M(), h.M(), g.Weighted(), h.Weighted())
+		}
+		bad := false
+		g.ForEachWeightedEdge(func(u, v, d int) {
+			if h.EdgeWeight(u, v) != d {
+				bad = true
+			}
+		})
+		if bad {
+			t.Fatalf("round-trip changed a distance\n%s", buf.String())
+		}
+	})
+}

@@ -24,13 +24,25 @@ import (
 // CSR form. Self-loops and parallel edges cannot occur (the Builder and
 // the stream constructor reject or merge them). Build one with
 // (*Builder).Freeze, FromEdgeStream, or the generators in this package.
+//
+// Edges optionally carry an integer distance weight d >= 1 (bandwidth
+// coloring: adjacent colors must differ by at least d). The weights
+// live in a third flat int32 array parallel to the neighbor array, so a
+// weighted graph costs exactly one extra int32 per directed edge and
+// nothing at all when every weight is 1: constructors normalize all-1
+// weight sets back to the nil (unweighted) form, keeping classic
+// disequality instances on the exact representation they had before
+// distance constraints existed.
 type Graph struct {
 	// offsets has length n+1; the neighbors of v are
 	// neighbors[offsets[v]:offsets[v+1]], sorted ascending. Each
 	// undirected edge appears twice, so len(neighbors) == 2*m.
 	offsets   []int32
 	neighbors []int32
-	m         int
+	// weights is nil for unweighted graphs; otherwise weights[i] is the
+	// distance of the edge to neighbors[i] (>= 1, stored symmetrically).
+	weights []int32
+	m       int
 
 	// Labels optionally names vertices (e.g. "net12.3" for the third
 	// 2-pin subnet of net 12). May be nil or shorter than n. Large
@@ -100,6 +112,68 @@ func (g *Graph) ForEachEdge(f func(u, v int)) {
 	}
 }
 
+// Weighted reports whether any edge carries a distance weight >= 2.
+// Constructors normalize all-1 weight sets to the unweighted form, so
+// this is equivalent to "the graph has a non-trivial distance
+// constraint".
+func (g *Graph) Weighted() bool { return g.weights != nil }
+
+// EdgeWeight returns the distance weight of edge {u,v}: 1 for edges of
+// an unweighted graph, 0 when {u,v} is not an edge.
+func (g *Graph) EdgeWeight(u, v int) int {
+	n := g.N()
+	if u < 0 || u >= n || v < 0 || v >= n || u == v {
+		return 0
+	}
+	row := g.neighbors[g.offsets[u]:g.offsets[u+1]]
+	t := int32(v)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= t })
+	if i >= len(row) || row[i] != t {
+		return 0
+	}
+	if g.weights == nil {
+		return 1
+	}
+	return int(g.weights[int(g.offsets[u])+i])
+}
+
+// ForEachWeightedEdge calls f once per edge as (u, v, d) with u < v, in
+// the same canonical ascending order as ForEachEdge; d is the edge's
+// distance weight (1 everywhere on unweighted graphs). Allocates
+// nothing.
+func (g *Graph) ForEachWeightedEdge(f func(u, v, d int)) {
+	for u := 0; u < g.N(); u++ {
+		start := int(g.offsets[u])
+		row := g.neighbors[start:g.offsets[u+1]]
+		i := sort.Search(len(row), func(i int) bool { return int(row[i]) > u })
+		for j := i; j < len(row); j++ {
+			d := 1
+			if g.weights != nil {
+				d = int(g.weights[start+j])
+			}
+			f(u, int(row[j]), d)
+		}
+	}
+}
+
+// MaxEdgeWeight returns the largest edge distance (1 for non-empty
+// unweighted graphs, 0 for edgeless graphs).
+func (g *Graph) MaxEdgeWeight() int {
+	if g.m == 0 {
+		return 0
+	}
+	if g.weights == nil {
+		return 1
+	}
+	max := int32(1)
+	for _, w := range g.weights {
+		if w > max {
+			max = w
+		}
+	}
+	return int(max)
+}
+
 // MaxDegree returns the largest vertex degree, 0 for an empty graph.
 func (g *Graph) MaxDegree() int {
 	max := 0
@@ -130,6 +204,9 @@ func (g *Graph) Clone() *Graph {
 		neighbors: append([]int32(nil), g.neighbors...),
 		m:         g.m,
 	}
+	if g.weights != nil {
+		out.weights = append([]int32(nil), g.weights...)
+	}
 	if g.Labels != nil {
 		out.Labels = append([]string(nil), g.Labels...)
 	}
@@ -137,10 +214,10 @@ func (g *Graph) Clone() *Graph {
 }
 
 // Bytes returns the memory footprint of the CSR representation in
-// bytes (offsets plus neighbors; labels excluded). This is the "peak
-// graph bytes" number the scaling study records.
+// bytes (offsets plus neighbors plus weights; labels excluded). This is
+// the "peak graph bytes" number the scaling study records.
 func (g *Graph) Bytes() int {
-	return 4 * (len(g.offsets) + len(g.neighbors))
+	return 4 * (len(g.offsets) + len(g.neighbors) + len(g.weights))
 }
 
 // Label returns the label of v, or a numeric fallback.
@@ -213,28 +290,131 @@ func FromEdgeStream(n int, stream func(emit func(u, v int))) *Graph {
 	return g
 }
 
+// FromWeightedEdgeStream is FromEdgeStream for distance-annotated
+// graphs: stream emits (u, v, d) triples with d >= 1 and must be
+// deterministic across the two passes. Duplicate edges are merged
+// keeping the largest distance (the tighter constraint). A stream whose
+// weights are all 1 yields a plain unweighted graph — the distance-1
+// normal form.
+func FromWeightedEdgeStream(n int, stream func(emit func(u, v, d int))) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	if n >= math.MaxInt32 {
+		panic(fmt.Sprintf("graph: %d vertices exceed the CSR int32 id space", n))
+	}
+	offsets := make([]int32, n+1)
+	count := func(u, v, d int) {
+		if u == v {
+			panic(fmt.Sprintf("graph: self-loop at %d", u))
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, n))
+		}
+		if d < 1 || d > math.MaxInt32 {
+			panic(fmt.Sprintf("graph: edge {%d,%d} has invalid distance %d", u, v, d))
+		}
+		offsets[u+1]++
+		offsets[v+1]++
+	}
+	stream(count)
+	var running int64
+	for v := 0; v < n; v++ {
+		running += int64(offsets[v+1])
+		if running > math.MaxInt32 {
+			panic("graph: edge stream exceeds the CSR int32 offset space")
+		}
+		offsets[v+1] = int32(running)
+	}
+	total := int(offsets[n])
+	neighbors := make([]int32, total)
+	weights := make([]int32, total)
+	cursor := append([]int32(nil), offsets[:n]...)
+	fill := func(u, v, d int) {
+		neighbors[cursor[u]] = int32(v)
+		weights[cursor[u]] = int32(d)
+		cursor[u]++
+		neighbors[cursor[v]] = int32(u)
+		weights[cursor[v]] = int32(d)
+		cursor[v]++
+	}
+	stream(fill)
+	for v := 0; v < n; v++ {
+		if cursor[v] != offsets[v+1] {
+			panic("graph: edge stream changed between passes")
+		}
+	}
+	g := &Graph{offsets: offsets, neighbors: neighbors, weights: weights, m: total / 2}
+	g.sortAndDedup()
+	return g
+}
+
+// csrRow co-sorts one CSR row's neighbor and weight slices by neighbor
+// id.
+type csrRow struct {
+	nbr []int32
+	wt  []int32
+}
+
+func (r csrRow) Len() int           { return len(r.nbr) }
+func (r csrRow) Less(i, j int) bool { return r.nbr[i] < r.nbr[j] }
+func (r csrRow) Swap(i, j int) {
+	r.nbr[i], r.nbr[j] = r.nbr[j], r.nbr[i]
+	r.wt[i], r.wt[j] = r.wt[j], r.wt[i]
+}
+
 // sortAndDedup sorts every CSR row and merges duplicate entries in
-// place, compacting the neighbor array and recomputing offsets and the
-// edge count. Called by constructors on freshly filled rows.
+// place, compacting the neighbor (and weight) arrays and recomputing
+// offsets and the edge count. Duplicate weighted edges keep the largest
+// distance; an all-1 weight array is dropped so distance-1 graphs
+// normalize to the unweighted representation. Called by constructors on
+// freshly filled rows.
 func (g *Graph) sortAndDedup() {
 	n := g.N()
 	write := int32(0)
 	rowStart := int32(0)
+	maxWeight := int32(0)
 	for v := 0; v < n; v++ {
 		row := g.neighbors[rowStart:g.offsets[v+1]]
+		var wts []int32
+		if g.weights != nil {
+			wts = g.weights[rowStart:g.offsets[v+1]]
+			sort.Sort(csrRow{nbr: row, wt: wts})
+		} else {
+			sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		}
 		rowStart = g.offsets[v+1]
-		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
 		// Compact left; write never passes the current row's original
 		// start, so reads stay ahead of writes.
 		for i, u := range row {
 			if i > 0 && u == row[i-1] {
+				// Parallel edge: keep the tighter (larger) distance.
+				if wts != nil && wts[i] > g.weights[write-1] {
+					g.weights[write-1] = wts[i]
+					if wts[i] > maxWeight {
+						maxWeight = wts[i]
+					}
+				}
 				continue
 			}
 			g.neighbors[write] = u
+			if wts != nil {
+				g.weights[write] = wts[i]
+				if wts[i] > maxWeight {
+					maxWeight = wts[i]
+				}
+			}
 			write++
 		}
 		g.offsets[v+1] = write
 	}
 	g.neighbors = g.neighbors[:write]
+	if g.weights != nil {
+		if maxWeight <= 1 {
+			g.weights = nil // distance-1 normal form
+		} else {
+			g.weights = g.weights[:write]
+		}
+	}
 	g.m = int(write) / 2
 }

@@ -1,0 +1,121 @@
+package mcnc
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"fpgasat/internal/coloring"
+	"fpgasat/internal/core"
+	"fpgasat/internal/search"
+)
+
+// TestCalibrationDistanceInstances proves the RoutableW calibration of
+// every crosstalk instance the same way the classic calibration test
+// does for the disequality instances: the bandwidth-coloring CSP is SAT
+// at RoutableW and UNSAT at RoutableW-1, established by an exact
+// MinWidth search with the order encoding.
+func TestCalibrationDistanceInstances(t *testing.T) {
+	insts := DistanceInstances()
+	if len(insts) == 0 {
+		t.Fatal("no distance instances registered")
+	}
+	strat, err := core.ParseStrategy("order/-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range insts {
+		in := in
+		t.Run(in.Name, func(t *testing.T) {
+			t.Parallel()
+			_, g, err := in.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Weighted() {
+				t.Fatalf("%s: conflict graph is unweighted despite xtalk=%d", in.Name, in.Crosstalk)
+			}
+			if got := g.MaxEdgeWeight(); got != in.Crosstalk {
+				t.Fatalf("%s: max edge distance %d, want %d", in.Name, got, in.Crosstalk)
+			}
+			res, err := search.MinWidth(context.Background(), g, search.Options{
+				Strategy: strat,
+				Hi:       in.RoutableW + 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.ProvedOptimal {
+				t.Fatalf("%s: MinWidth did not prove optimality", in.Name)
+			}
+			if res.MinWidth != in.RoutableW {
+				t.Fatalf("%s: calibrated minimum width %d, registry says %d",
+					in.Name, res.MinWidth, in.RoutableW)
+			}
+			if err := coloring.Verify(g, res.Colors, in.RoutableW); err != nil {
+				t.Fatalf("%s: witness at RoutableW invalid: %v", in.Name, err)
+			}
+		})
+	}
+}
+
+// TestDistanceInstancesShareBase checks that each crosstalk instance is
+// the same placed netlist and global routing as its base instance —
+// only the conflict-graph edge distances change.
+func TestDistanceInstancesShareBase(t *testing.T) {
+	for _, in := range DistanceInstances() {
+		base := strings.TrimSuffix(strings.TrimSuffix(in.Name, ".x2"), ".x3")
+		bi, err := ByName(base)
+		if err != nil {
+			t.Fatalf("%s: no base instance %q", in.Name, base)
+		}
+		if in.Gen != bi.Gen || in.Route != bi.Route {
+			t.Fatalf("%s: generator/router params differ from base %s", in.Name, base)
+		}
+		if in.Hard {
+			t.Fatalf("%s: crosstalk instances must not be in Table 2", in.Name)
+		}
+		_, g, err := in.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bg, err := bi.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != bg.N() || g.M() != bg.M() {
+			t.Fatalf("%s: conflict graph shape %d/%d differs from base %d/%d",
+				in.Name, g.N(), g.M(), bg.N(), bg.M())
+		}
+	}
+}
+
+// TestRegistryXtalkRoundTrip checks that the xtalk field survives a
+// WriteInstances/ParseInstances round trip and is validated on parse.
+func TestRegistryXtalkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteInstances(&buf, Instances()); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseInstances("registry", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != len(Instances()) {
+		t.Fatalf("round trip kept %d of %d instances", len(parsed), len(Instances()))
+	}
+	for i, in := range Instances() {
+		if parsed[i] != in {
+			t.Fatalf("instance %s changed in round trip: %+v -> %+v", in.Name, in, parsed[i])
+		}
+	}
+	for _, bad := range []string{
+		"instance z rows=2 cols=2 nets=1 minpins=2 maxpins=2 locality=1 seed=1 capacity=1 w=1 xtalk=-1\n",
+		"instance z rows=2 cols=2 nets=1 minpins=2 maxpins=2 locality=1 seed=1 capacity=1 w=1 xtalk=65\n",
+	} {
+		if _, err := ParseInstances("bad", strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted invalid xtalk line: %s", bad)
+		}
+	}
+}

@@ -26,12 +26,18 @@ type Instance struct {
 	Name  string
 	Gen   fpga.GenParams
 	Route fpga.RouteOptions
-	// RoutableW is the chromatic number of the conflict graph: the
-	// minimum channel width for which a detailed routing exists.
+	// RoutableW is the minimum channel width for which a detailed
+	// routing exists: the chromatic number of the conflict graph, or —
+	// for crosstalk instances — the bandwidth-coloring minimum span.
 	RoutableW int
 	// Hard marks the instances from the paper's Table 2 (challenging
 	// unroutable configurations).
 	Hard bool
+	// Crosstalk >= 2 makes the instance a bandwidth-coloring problem:
+	// routes coupled through two or more common connection blocks must
+	// sit at least Crosstalk tracks apart (fpga.ConflictGraphXtalk).
+	// 0 and 1 are the classic disequality instances.
+	Crosstalk int
 }
 
 // UnroutableW returns the largest channel width for which the
@@ -49,7 +55,7 @@ func (in Instance) Build() (*fpga.GlobalRouting, *graph.Graph, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("mcnc: %s: %w", in.Name, err)
 	}
-	return gr, gr.ConflictGraph(), nil
+	return gr, gr.ConflictGraphXtalk(in.Crosstalk), nil
 }
 
 // instances is the registry. The RoutableW values are calibrated: a
@@ -131,6 +137,48 @@ var instances = []Instance{
 		Route:     fpga.RouteOptions{Capacity: 4},
 		RoutableW: 6,
 	},
+	// Distance-annotated (crosstalk) companions: the same placed
+	// netlists and global routings with coupled routes — pairs sharing
+	// two or more connection blocks — constrained to Crosstalk-track
+	// spacing. These are the bandwidth-coloring workload of the
+	// order/ladder encoding family; RoutableW is calibrated exactly like
+	// the classic instances (routable at W, provably unroutable at W-1)
+	// and enforced by TestCalibrationDistanceInstances.
+	{
+		Name:      "tseng.x2",
+		Gen:       fpga.GenParams{Rows: 6, Cols: 6, NumNets: 40, MinPins: 2, MaxPins: 4, Locality: 3, Seed: 110},
+		Route:     fpga.RouteOptions{Capacity: 4},
+		RoutableW: 8,
+		Crosstalk: 2,
+	},
+	{
+		Name:      "term1.x2",
+		Gen:       fpga.GenParams{Rows: 5, Cols: 5, NumNets: 30, MinPins: 2, MaxPins: 3, Locality: 2, Seed: 111},
+		Route:     fpga.RouteOptions{Capacity: 3},
+		RoutableW: 5,
+		Crosstalk: 2,
+	},
+	{
+		Name:      "9symml.x2",
+		Gen:       fpga.GenParams{Rows: 7, Cols: 7, NumNets: 50, MinPins: 2, MaxPins: 4, Locality: 2, Seed: 112},
+		Route:     fpga.RouteOptions{Capacity: 4},
+		RoutableW: 7,
+		Crosstalk: 2,
+	},
+	{
+		Name:      "term1.x3",
+		Gen:       fpga.GenParams{Rows: 5, Cols: 5, NumNets: 30, MinPins: 2, MaxPins: 3, Locality: 2, Seed: 111},
+		Route:     fpga.RouteOptions{Capacity: 3},
+		RoutableW: 7,
+		Crosstalk: 3,
+	},
+	{
+		Name:      "alu2.x2",
+		Gen:       fpga.GenParams{Rows: 8, Cols: 8, NumNets: 70, MinPins: 2, MaxPins: 4, Locality: 3, Seed: 102},
+		Route:     fpga.RouteOptions{Capacity: 4},
+		RoutableW: 8,
+		Crosstalk: 2,
+	},
 }
 
 // Instances returns all registered benchmark instances.
@@ -146,6 +194,18 @@ func Table2Instances() []Instance {
 	var out []Instance
 	for _, in := range instances {
 		if in.Hard {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// DistanceInstances returns the crosstalk (bandwidth-coloring)
+// instances — the workload of the `experiments -bandwidth` study.
+func DistanceInstances() []Instance {
+	var out []Instance
+	for _, in := range instances {
+		if in.Crosstalk >= 2 {
 			out = append(out, in)
 		}
 	}

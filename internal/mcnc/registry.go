@@ -10,7 +10,10 @@ package mcnc
 // Format (one instance per line, '#' starts a comment):
 //
 //	instance <name> rows=R cols=C nets=N minpins=A maxpins=B \
-//	    locality=L seed=S capacity=P w=W [hard]
+//	    locality=L seed=S capacity=P w=W [xtalk=X] [hard]
+//
+// xtalk >= 2 marks a bandwidth-coloring (crosstalk) instance; see
+// Instance.Crosstalk.
 
 import (
 	"bufio"
@@ -19,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"fpgasat/internal/fpga"
 	"fpgasat/internal/robust"
 )
 
@@ -100,6 +104,8 @@ func ParseInstances(source string, r io.Reader) ([]Instance, error) {
 				in.Route.Capacity = n
 			case "w":
 				in.RoutableW = n
+			case "xtalk":
+				in.Crosstalk = n
 			default:
 				return nil, fail("unknown field %s", key)
 			}
@@ -142,6 +148,8 @@ func validateInstance(in Instance) error {
 		return fmt.Errorf("capacity %d outside [1,%d]", in.Route.Capacity, MaxCapacity)
 	case in.RoutableW < 1 || in.RoutableW > MaxCapacity:
 		return fmt.Errorf("w %d outside [1,%d]", in.RoutableW, MaxCapacity)
+	case in.Crosstalk < 0 || in.Crosstalk > fpga.MaxCrosstalk:
+		return fmt.Errorf("xtalk %d outside [0,%d]", in.Crosstalk, fpga.MaxCrosstalk)
 	}
 	return nil
 }
@@ -155,6 +163,9 @@ func WriteInstances(w io.Writer, instances []Instance) error {
 		fmt.Fprintf(bw, "instance %s rows=%d cols=%d nets=%d minpins=%d maxpins=%d locality=%d seed=%d capacity=%d w=%d",
 			in.Name, in.Gen.Rows, in.Gen.Cols, in.Gen.NumNets, in.Gen.MinPins, in.Gen.MaxPins,
 			in.Gen.Locality, in.Gen.Seed, in.Route.Capacity, in.RoutableW)
+		if in.Crosstalk > 0 {
+			fmt.Fprintf(bw, " xtalk=%d", in.Crosstalk)
+		}
 		if in.Hard {
 			fmt.Fprint(bw, " hard")
 		}

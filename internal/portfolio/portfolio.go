@@ -208,6 +208,21 @@ func PaperPortfolio2() ([]core.Strategy, error) {
 	return ss[:2], nil
 }
 
+// BandwidthPortfolio returns the lane set for bandwidth-coloring
+// (distance-constrained) instances: the order/ladder encoding plus the
+// distance-aware direct and log encodings, all without symmetry
+// breaking — the color-permutation clique heuristics are unsound when
+// |c(u)-c(v)| >= d(u,v) replaces plain disequality (only translation
+// and reflection preserve solutions), so BuildCSP would ignore them
+// anyway.
+func BandwidthPortfolio() ([]core.Strategy, error) {
+	specs := make([]string, len(core.BandwidthEncodingNames))
+	for i, name := range core.BandwidthEncodingNames {
+		specs[i] = name + "/-"
+	}
+	return Strategies(specs...)
+}
+
 // Replicate expands each strategy into n copies, interleaved so a
 // truncated prefix stays balanced. The copies are identical strategy
 // values: under a hardened run with a Seed they diversify through

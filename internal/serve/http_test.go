@@ -17,6 +17,8 @@ import (
 	"testing"
 	"time"
 
+	"fpgasat/internal/coloring"
+	"fpgasat/internal/mcnc"
 	"fpgasat/internal/obs"
 	"fpgasat/internal/robust"
 )
@@ -351,5 +353,72 @@ func TestHTTPSigtermDrainViaSignalPath(t *testing.T) {
 	}
 	if err := <-drainErr; err != nil {
 		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestHTTPSolveDistanceInstance is the serve round trip of the
+// bandwidth-coloring flow: a crosstalk instance solved with the order
+// encoding is ROUTABLE at its calibrated width (with a distance-valid
+// track assignment) and UNROUTABLE one track below it.
+func TestHTTPSolveDistanceInstance(t *testing.T) {
+	_, ts := newHTTPServer(t, Options{})
+	in, err := mcnc.ByName("term1.x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, raw := postSolve(t, ts, SolveRequest{
+		Instance: in.Name, Strategy: "order/-",
+		Wait: true, WantColors: true, Verify: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, raw)
+	}
+	v := decodeView(t, raw)
+	if v.Answer != AnswerRoutable || v.Width != in.RoutableW {
+		t.Fatalf("answer %q at width %d, want ROUTABLE at %d", v.Answer, v.Width, in.RoutableW)
+	}
+	_, g, err := in.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.Verify(g, v.Colors, in.RoutableW); err != nil {
+		t.Fatalf("returned track assignment violates a distance constraint: %v", err)
+	}
+
+	code, raw = postSolve(t, ts, SolveRequest{
+		Instance: in.Name, Strategy: "ladder/-", Width: in.UnroutableW(),
+		Wait: true, Verify: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, raw)
+	}
+	if v := decodeView(t, raw); v.Answer != AnswerUnroutable {
+		t.Fatalf("answer %q at width %d, want UNROUTABLE", v.Answer, in.UnroutableW())
+	}
+}
+
+// TestHTTPSolveWeightedInlineGraph submits a bandwidth-coloring graph
+// as inline weighted DIMACS: a distance-2 triangle needs span 5 tracks
+// (colors {0,2,4}) and is infeasible with 4.
+func TestHTTPSolveWeightedInlineGraph(t *testing.T) {
+	_, ts := newHTTPServer(t, Options{})
+	const triX2 = "p edge 3 3\ne 1 2 2\ne 2 3 2\ne 1 3 2\n"
+	code, raw := postSolve(t, ts, SolveRequest{
+		Graph: triX2, Width: 5, Strategy: "order/-",
+		Wait: true, WantColors: true, Verify: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, raw)
+	}
+	v := decodeView(t, raw)
+	if v.Answer != AnswerRoutable || len(v.Colors) != 3 {
+		t.Fatalf("got %s, want ROUTABLE with 3 colors", raw)
+	}
+	code, raw = postSolve(t, ts, SolveRequest{Graph: triX2, Width: 4, Strategy: "order/-", Wait: true, Verify: true})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, raw)
+	}
+	if v := decodeView(t, raw); v.Answer != AnswerUnroutable {
+		t.Fatalf("distance-2 triangle at width 4: answer %q, want UNROUTABLE", v.Answer)
 	}
 }

@@ -84,6 +84,23 @@ const (
 // overall best single strategy.
 const DefaultStrategy = "ITE-linear-2+muldirect/s1"
 
+// Submit-time caps on the request knobs. A request outside these
+// bounds is rejected with a *RequestError (HTTP 400) at submit instead
+// of being admitted as a job doomed to fail or monopolize a shard.
+const (
+	// MaxSubmitWidth caps the channel width of any job: wider CSPs only
+	// grow the variable count without changing routability on any
+	// realistic architecture.
+	MaxSubmitWidth = 1 << 16
+	// MaxSubmitLanes caps lane replication per job so one request
+	// cannot claim an unbounded slice of a shard's solver pool.
+	MaxSubmitLanes = 64
+	// MaxSubmitRetries caps the per-lane retry count (the Luby budget
+	// schedule grows geometrically, so larger values are never useful
+	// within a sane job deadline).
+	MaxSubmitRetries = 32
+)
+
 // Sentinel errors of the admission path. The HTTP layer maps them to
 // status codes (429, 503, 400).
 var (
@@ -392,6 +409,9 @@ func (s *Server) resolveInstance(name string) (instanceEntry, error) {
 // success; ErrQueueFull, ErrDraining and *RequestError are the
 // documented failure modes.
 func (s *Server) Submit(req SolveRequest) (*Job, error) {
+	if err := validateKnobs(&req); err != nil {
+		return nil, err
+	}
 	g, width, instName, err := s.resolveProblem(&req)
 	if err != nil {
 		return nil, err
@@ -449,6 +469,33 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 		s.reg.Counter(MetricJobsRejected).Inc()
 		return nil, ErrQueueFull
 	}
+}
+
+// validateKnobs bounds-checks every numeric solve knob before any
+// graph building happens, so a malformed request costs nothing and
+// fails with a 400 immediately.
+func validateKnobs(req *SolveRequest) error {
+	switch {
+	case req.Width < 0:
+		return badRequest("width must not be negative, got %d", req.Width)
+	case req.Width > MaxSubmitWidth:
+		return badRequest("width %d above the maximum %d", req.Width, MaxSubmitWidth)
+	case req.Lanes < 0:
+		return badRequest("lanes must not be negative, got %d", req.Lanes)
+	case req.Lanes > MaxSubmitLanes:
+		return badRequest("lanes %d above the maximum %d", req.Lanes, MaxSubmitLanes)
+	case req.MaxRetries < 0:
+		return badRequest("max_retries must not be negative, got %d", req.MaxRetries)
+	case req.MaxRetries > MaxSubmitRetries:
+		return badRequest("max_retries %d above the maximum %d", req.MaxRetries, MaxSubmitRetries)
+	case req.ConflictBudget < 0:
+		return badRequest("conflict_budget must not be negative, got %d", req.ConflictBudget)
+	case req.DeadlineMS < 0:
+		return badRequest("deadline_ms must not be negative, got %d", req.DeadlineMS)
+	case req.LaneTimeoutMS < 0:
+		return badRequest("lane_timeout_ms must not be negative, got %d", req.LaneTimeoutMS)
+	}
+	return nil
 }
 
 // resolveProblem turns the request's instance name or inline DIMACS

@@ -90,6 +90,15 @@ func TestSubmitValidation(t *testing.T) {
 		"bad graph":               {Graph: "p edge nonsense", Width: 3},
 		"bad strategy":            {Graph: triangleCol, Width: 3, Strategy: "no-such-encoding"},
 		"portfolio plus strategy": {Graph: triangleCol, Width: 3, Portfolio: true, Strategy: DefaultStrategy},
+		"negative width":          {Graph: triangleCol, Width: -1},
+		"oversized width":         {Graph: triangleCol, Width: MaxSubmitWidth + 1},
+		"negative lanes":          {Graph: triangleCol, Width: 3, Lanes: -2},
+		"oversized lanes":         {Graph: triangleCol, Width: 3, Lanes: MaxSubmitLanes + 1},
+		"negative retries":        {Graph: triangleCol, Width: 3, MaxRetries: -1},
+		"oversized retries":       {Graph: triangleCol, Width: 3, MaxRetries: MaxSubmitRetries + 1},
+		"negative budget":         {Graph: triangleCol, Width: 3, ConflictBudget: -5},
+		"negative deadline":       {Graph: triangleCol, Width: 3, DeadlineMS: -1},
+		"negative lane timeout":   {Graph: triangleCol, Width: 3, LaneTimeoutMS: -1},
 	} {
 		if _, err := s.Submit(req); err == nil {
 			t.Errorf("%s: Submit accepted an invalid request", name)
