@@ -8,20 +8,31 @@
 //	GET  /v1/jobs/{id} job status and result
 //	GET  /metrics      live metrics snapshot (queue depths, shard
 //	                   utilization, pool hit rates, solver telemetry)
-//	GET  /healthz      liveness and drain state
+//	GET  /healthz      liveness (200 while the process serves at all)
+//	GET  /readyz       readiness (503 while draining or saturated)
 //
 // Jobs are classified into size-class shards by conflict-graph vertex
-// count; each shard owns a bounded admission queue (full = HTTP 429),
-// a fixed worker group, and a solver pool whose clause arenas recycle
-// across jobs of similar size. Every solve runs through the hardened
-// portfolio layer, so per-job deadlines, conflict budgets, retries,
-// clause sharing and paranoid answer verification are all available
-// per request. SIGINT/SIGTERM starts a graceful drain: admission
-// stops, queued and in-flight jobs finish, then the process exits.
+// count; each shard owns bounded interactive and batch admission
+// queues (full = HTTP 429 with an adaptive Retry-After), a fixed
+// worker group, a solver pool whose clause arenas recycle across jobs
+// of similar size, and a circuit breaker that isolates the shard when
+// its jobs keep dying of supervision failures. Every solve runs
+// through the hardened portfolio layer, so per-job deadlines, conflict
+// budgets, retries, clause sharing and paranoid answer verification
+// are all available per request. SIGINT/SIGTERM starts a graceful
+// drain: admission stops, queued and in-flight jobs finish, then the
+// process exits.
+//
+// With -journal, accepted jobs are fsynced to a write-ahead log before
+// the submit is acknowledged, and a restart replays it: completed
+// results are restored, accepted-but-unfinished jobs are re-enqueued,
+// and idempotency keys keep client retries duplicate-free across the
+// crash.
 //
 // Usage:
 //
 //	fpgasatd -addr :8080
+//	fpgasatd -addr :8080 -journal /var/lib/fpgasatd/wal
 //	fpgasatd -addr :8080 -verify -workers 8 -queue 512
 //	curl -s localhost:8080/v1/solve -d '{"instance":"alu2","width":6,"wait":true}'
 //
@@ -60,15 +71,26 @@ func main() {
 		retain          = flag.Duration("retain", 15*time.Minute, "how long completed jobs stay queryable via /v1/jobs")
 		maxJobs         = flag.Int("max-jobs", 16384, "job-table cap; oldest completed jobs are evicted beyond it")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on SIGTERM before their solves are cancelled")
+		journalDir      = flag.String("journal", "", "durable job journal directory (empty = no journal; a restart loses job state)")
+		sojournTarget   = flag.Duration("sojourn-target", 30*time.Second, "shed jobs that sat queued longer than this at dequeue (negative = never shed)")
+		brkThreshold    = flag.Int("breaker-threshold", 5, "consecutive supervision failures that trip a shard's circuit breaker (negative = breakers off)")
+		brkBackoff      = flag.Duration("breaker-backoff", time.Second, "first circuit-breaker open period (doubles per failed probe)")
+		brkMaxBackoff   = flag.Duration("breaker-max-backoff", time.Minute, "circuit-breaker backoff cap")
+		metricsOut      = flag.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file on shutdown")
 	)
 	flag.Parse()
 
 	opts := serve.Options{
-		DefaultDeadline: *defaultDeadline,
-		MaxDeadline:     *maxDeadline,
-		Verify:          *verify,
-		RetainJobs:      *retain,
-		MaxJobs:         *maxJobs,
+		DefaultDeadline:   *defaultDeadline,
+		MaxDeadline:       *maxDeadline,
+		Verify:            *verify,
+		RetainJobs:        *retain,
+		MaxJobs:           *maxJobs,
+		JournalDir:        *journalDir,
+		SojournTarget:     *sojournTarget,
+		BreakerThreshold:  *brkThreshold,
+		BreakerBackoff:    *brkBackoff,
+		BreakerMaxBackoff: *brkMaxBackoff,
 	}
 	if *shardSpec != "" {
 		shards, err := parseShards(*shardSpec)
@@ -91,6 +113,15 @@ func main() {
 	srv, err := serve.NewServer(opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *journalDir != "" {
+		reg := srv.Metrics()
+		log.Printf("journal %s: replayed %d records (%d results restored, %d jobs re-enqueued, %d truncated)",
+			*journalDir,
+			reg.Counter(serve.MetricJournalReplayed).Value(),
+			reg.Counter(serve.MetricJournalRestored).Value(),
+			reg.Counter(serve.MetricJournalRecovered).Value(),
+			reg.Counter(serve.MetricJournalTruncated).Value())
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -127,6 +158,26 @@ func main() {
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("http shutdown: %v", err)
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(srv, *metricsOut); err != nil {
+			log.Printf("metrics-out: %v", err)
+		} else {
+			log.Printf("final metrics snapshot written to %s", *metricsOut)
+		}
+	}
+}
+
+// writeMetrics dumps a final metrics snapshot to path.
+func writeMetrics(srv *serve.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := srv.Scrape().WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // parseShards parses the -shards flag: comma-separated name=bound

@@ -41,6 +41,21 @@ const (
 	// with (laneID int, lits *[]sat.Lit) — mutating the slice simulates
 	// a corrupted shared clause in flight.
 	FPShareImport = "share.import"
+	// FPServeWorker fires inside a serve worker after it dequeued a job,
+	// before the solve starts, with (jobID string, shardName string).
+	// Panicking here simulates a worker crashing mid-job.
+	FPServeWorker = "serve.worker"
+	// FPServeDequeue fires when a serve worker picks a job off its
+	// shard queue, with (shardName string). Blocking here simulates a
+	// stalled queue consumer.
+	FPServeDequeue = "serve.dequeue"
+	// FPJournalAppend fires before every journal record write, with
+	// (kind string, errp *error) — setting *errp simulates a failed
+	// write (disk full, I/O error) without touching the file.
+	FPJournalAppend = "serve.journal.append"
+	// FPJournalSync fires before every journal fsync, with
+	// (kind string). Sleeping here simulates a slow or stalled disk.
+	FPJournalSync = "serve.journal.sync"
 )
 
 // SetFailpoint installs (or replaces) the handler of a named

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionEWMAAndMedian(t *testing.T) {
+	var a admission
+	if a.ewma() != 0 || a.median() != 0 {
+		t.Fatal("fresh admission should report zero estimates")
+	}
+	a.observe(time.Second)
+	if a.ewma() != time.Second || a.median() != time.Second {
+		t.Fatalf("single sample: ewma %v median %v, want 1s/1s", a.ewma(), a.median())
+	}
+	// A single outlier moves the EWMA by alpha, not all the way.
+	a.observe(11 * time.Second)
+	got := a.ewma()
+	want := time.Duration(ewmaAlpha*float64(11*time.Second) + (1-ewmaAlpha)*float64(time.Second))
+	if got != want {
+		t.Errorf("ewma after outlier = %v, want %v", got, want)
+	}
+
+	// Fill the window past capacity; the median must reflect only the
+	// surviving recent samples.
+	var b admission
+	for i := 0; i < admWindow+10; i++ {
+		b.observe(time.Duration(i) * time.Millisecond)
+	}
+	med := b.median()
+	if med < 10*time.Millisecond {
+		t.Errorf("median %v still dominated by evicted early samples", med)
+	}
+}
+
+func TestRetryAfterComputedAndFloors(t *testing.T) {
+	// Floor case: no samples at all -> the 1-second HTTP floor.
+	var a admission
+	if got := a.retryAfter(10, 2, 2); got != time.Second {
+		t.Errorf("retryAfter with no samples = %v, want the 1s floor", got)
+	}
+
+	// Computed case: steady 2s service times, 3 queued + 1 busy over 2
+	// workers -> ceil(4/2) * 2s = 4s.
+	var b admission
+	for i := 0; i < 16; i++ {
+		b.observe(2 * time.Second)
+	}
+	if got := b.retryAfter(3, 1, 2); got != 4*time.Second {
+		t.Errorf("retryAfter(3,1,2) = %v, want 4s", got)
+	}
+
+	// Median floor: an empty queue must still advertise at least the
+	// typical service time, never less.
+	if got := b.retryAfter(0, 0, 2); got != 2*time.Second {
+		t.Errorf("retryAfter on empty queue = %v, want the 2s median floor", got)
+	}
+
+	// Degenerate worker count is clamped rather than dividing by zero.
+	if got := b.retryAfter(1, 0, 0); got != 2*time.Second {
+		t.Errorf("retryAfter with 0 workers = %v, want 2s", got)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{1100 * time.Millisecond, 2}, // rounds up, never advertises early
+		{5 * time.Second, 5},
+	} {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}

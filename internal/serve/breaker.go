@@ -1,0 +1,185 @@
+package serve
+
+// Per-shard circuit breakers, layered on the internal/robust failure
+// taxonomy. A shard whose jobs keep dying of supervision failures —
+// lane panics, watchdog abandonments, soundness violations, worker
+// crashes — is poisoned: some workload it attracts is tripping a bug,
+// and every job routed there burns a solver and a queue slot to learn
+// the same thing. The breaker isolates it:
+//
+//	closed ──(threshold consecutive failures)──> open
+//	open   ──(jittered backoff elapsed)──> half-open
+//	half-open ──(probe job succeeds)──> closed
+//	half-open ──(probe job fails)──> open (backoff doubled, capped)
+//
+// While open, submits to the shard are rejected with
+// *BreakerOpenError (HTTP 503 + Retry-After); other shards are
+// untouched, so a poisoned size class degrades to "unavailable"
+// instead of dragging the whole daemon down. The backoff is jittered
+// (uniform in [backoff/2, backoff]) so a fleet of breakers tripped by
+// the same poison pill does not re-probe in lockstep.
+//
+// Only supervision failures count: timeouts, conflict-budget
+// exhaustion and load shedding are healthy overload behaviour, not
+// poison, and never trip a breaker.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Breaker states, in the order reported by the serve.breaker.state
+// gauge.
+const (
+	breakerClosed int64 = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// breakerStateNames maps gauge values to the names used in /readyz and
+// error messages.
+var breakerStateNames = map[int64]string{
+	breakerClosed:   "closed",
+	breakerHalfOpen: "half-open",
+	breakerOpen:     "open",
+}
+
+// BreakerOpenError reports a submit rejected because the target
+// shard's circuit breaker is open; RetryAfter is the remaining backoff
+// before the breaker will admit a probe.
+type BreakerOpenError struct {
+	Shard      string
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("serve: shard %s circuit breaker open (retry in %v)", e.Shard, e.RetryAfter.Round(time.Millisecond))
+}
+
+// breaker is one shard's circuit breaker. The zero value is not
+// usable; build with newBreaker.
+type breaker struct {
+	mu        sync.Mutex
+	state     int64
+	fails     int           // consecutive supervision failures while closed
+	threshold int           // fails that trip the breaker
+	base      time.Duration // backoff after the first trip
+	max       time.Duration // backoff cap
+	backoff   time.Duration // current open duration (doubles per re-trip)
+	until     time.Time     // while open: when a probe becomes admissible
+	probing   bool          // while half-open: a probe job is in flight
+	rng       *rand.Rand
+	now       func() time.Time // injectable clock for tests
+	onChange  func(state int64)
+}
+
+func newBreaker(threshold int, base, max time.Duration, seed int64, onChange func(int64)) *breaker {
+	b := &breaker{
+		threshold: threshold,
+		base:      base,
+		max:       max,
+		backoff:   base,
+		rng:       rand.New(rand.NewSource(seed)),
+		now:       time.Now,
+		onChange:  onChange,
+	}
+	b.onChange(breakerClosed)
+	return b
+}
+
+// allow decides whether a submit may enter the shard. probe is true
+// when the admitted job is the half-open probe whose outcome decides
+// the next transition; retryAfter is meaningful only when ok is false.
+func (b *breaker) allow() (ok bool, probe bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false, 0
+	case breakerOpen:
+		if wait := b.until.Sub(b.now()); wait > 0 {
+			return false, false, wait
+		}
+		b.setState(breakerHalfOpen)
+		b.probing = true
+		return true, true, 0
+	default: // half-open
+		if b.probing {
+			return false, false, b.backoff
+		}
+		b.probing = true
+		return true, true, 0
+	}
+}
+
+// onResult feeds one finished job's outcome back: failure reports a
+// supervision failure (panic, abandonment, soundness violation),
+// probe marks the job as the half-open probe.
+func (b *breaker) onResult(failure, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if failure {
+			b.trip(b.backoff * 2)
+		} else {
+			b.setState(breakerClosed)
+			b.fails = 0
+			b.backoff = b.base
+		}
+		return
+	}
+	if b.state != breakerClosed {
+		// A pre-trip straggler finishing while the breaker is open or a
+		// probe is pending; its outcome is stale evidence either way.
+		return
+	}
+	if !failure {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.trip(b.backoff)
+	}
+}
+
+// releaseProbe un-claims a half-open probe whose job never ran (backed
+// out of admission, or shed before solving); the breaker stays
+// half-open and the next submit becomes the probe instead.
+func (b *breaker) releaseProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// trip opens the breaker with the given backoff (jittered, capped).
+// Caller holds b.mu.
+func (b *breaker) trip(backoff time.Duration) {
+	if backoff > b.max {
+		backoff = b.max
+	}
+	b.backoff = backoff
+	jittered := backoff/2 + time.Duration(b.rng.Int63n(int64(backoff/2)+1))
+	b.until = b.now().Add(jittered)
+	b.fails = 0
+	b.setState(breakerOpen)
+}
+
+// setState records a transition and publishes it through onChange.
+// Caller holds b.mu.
+func (b *breaker) setState(state int64) {
+	b.state = state
+	b.onChange(state)
+}
+
+// current returns the breaker's state for /readyz and /metrics.
+func (b *breaker) current() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

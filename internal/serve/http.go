@@ -1,21 +1,31 @@
 package serve
 
-// The HTTP surface of the daemon. Four endpoints:
+// The HTTP surface of the daemon. Five endpoints:
 //
 //	POST /v1/solve     submit a job (async 202, or sync with "wait")
 //	GET  /v1/jobs/{id} job status / result
 //	GET  /metrics      live obs snapshot (JSON)
-//	GET  /healthz      liveness + drain state
+//	GET  /healthz      liveness (200 while the process serves requests)
+//	GET  /readyz       readiness (503 while draining or saturated)
 //
-// Error mapping: *RequestError -> 400, ErrQueueFull -> 429 (with
-// Retry-After), ErrDraining -> 503, a synchronous job whose deadline
-// expired mid-solve -> 504 with the partial job view (attempt counts
-// per lane) in the body.
+// Error mapping: *RequestError -> 400, ErrQueueFull -> 429 with an
+// adaptive Retry-After computed from the shard's observed service
+// times, *BreakerOpenError -> 503 with Retry-After set to the breaker's
+// remaining backoff, ErrDraining and ErrJournal -> 503, a synchronous
+// job whose deadline expired mid-solve -> 504 with the partial job view
+// (attempt counts per lane) in the body, and a synchronous job shed by
+// the admission controller -> 503.
+//
+// Idempotency: a request carrying idempotency_key returns the
+// already-accepted job when the key is known — 200 if that job is done,
+// 202 (or the usual synchronous wait) otherwise — instead of admitting
+// a duplicate.
 
 import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
 // maxRequestBody bounds POST bodies; inline DIMACS graphs above this
@@ -34,6 +44,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -52,21 +63,43 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding request: " + err.Error()})
 		return
 	}
-	job, err := s.Submit(req)
+	job, duplicate, err := s.SubmitDedup(req)
 	if err != nil {
 		var reqErr *RequestError
+		var fullErr *QueueFullError
+		var brkErr *BreakerOpenError
 		switch {
 		case errors.As(err, &reqErr):
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		case errors.As(err, &fullErr):
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(fullErr.RetryAfter)))
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
-		case errors.Is(err, ErrDraining):
+		case errors.As(err, &brkErr):
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(brkErr.RetryAfter)))
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrJournal):
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		default:
 			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		}
 		return
+	}
+	if duplicate {
+		// Idempotent replay of an accepted request: report the bound job.
+		select {
+		case <-job.Done():
+			writeJSON(w, http.StatusOK, job.View())
+			return
+		default:
+		}
+		if !req.Wait {
+			writeJSON(w, http.StatusAccepted, job.View())
+			return
+		}
+		// fall through to the synchronous wait below
 	}
 	if !req.Wait {
 		writeJSON(w, http.StatusAccepted, job.View())
@@ -76,6 +109,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case <-job.Done():
 		v := job.View()
 		switch {
+		case v.Shed:
+			// Load-shed at dequeue: the server chose not to solve it.
+			writeJSON(w, http.StatusServiceUnavailable, v)
 		case v.TimedOut:
 			// The job's own deadline expired mid-solve; the view still
 			// carries the per-lane attempt counts accumulated so far.
@@ -113,10 +149,40 @@ type healthBody struct {
 	Jobs   int    `json:"jobs"`
 }
 
+// handleHealthz is pure liveness: it answers 200 as long as the process
+// can serve a request at all, even while draining — restarting a
+// daemon because it is shutting down gracefully would only lose the
+// jobs it is trying to finish. Point liveness probes here and traffic
+// routing at /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: "draining", Jobs: s.JobCount()})
-		return
+		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, healthBody{Status: "ok", Jobs: s.JobCount()})
+	writeJSON(w, http.StatusOK, healthBody{Status: status, Jobs: s.JobCount()})
+}
+
+// readyBody is the GET /readyz payload.
+type readyBody struct {
+	Ready  bool          `json:"ready"`
+	Status string        `json:"status"`
+	Shards []ShardStatus `json:"shards"`
+}
+
+// handleReadyz is readiness: 200 while the daemon should receive new
+// traffic, 503 once it is draining or no shard can accept an
+// interactive job (every breaker open or every queue full). Load
+// balancers should eject on 503 here and re-add when it recovers.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, shards := s.Readiness()
+	body := readyBody{Ready: ready, Status: "ready", Shards: shards}
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+		body.Status = "not ready"
+		if s.Draining() {
+			body.Status = "draining"
+		}
+	}
+	writeJSON(w, code, body)
 }

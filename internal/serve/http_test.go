@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -273,29 +274,143 @@ func TestHTTPQueueFull429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("third submit: status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 response missing Retry-After header")
+	// No service time has been observed yet (the one worker is stalled),
+	// so the adaptive Retry-After bottoms out at its 1-second floor.
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("429 Retry-After = %q, want the 1s floor", got)
 	}
 	releaseAll()
 }
 
+// TestHTTPRetryAfterAdaptive covers the computed case: once the shard
+// has observed real service times, a 429's Retry-After advertises the
+// backlog-drain estimate instead of a hardcoded constant.
+func TestHTTPRetryAfterAdaptive(t *testing.T) {
+	s, ts := newHTTPServer(t, Options{
+		Shards: []ShardConfig{{Name: "only", Workers: 1, QueueDepth: 1}},
+	})
+	// Pretend the shard has been solving 5-second jobs all day.
+	for i := 0; i < 8; i++ {
+		s.shards[0].adm.observe(5 * time.Second)
+	}
+	release := make(chan struct{})
+	var once sync.Once
+	releaseAll := func() { once.Do(func() { close(release) }) }
+	robust.SetFailpoint(robust.FPPortfolioLane, func(args ...any) { <-release })
+	t.Cleanup(func() {
+		robust.ClearFailpoint(robust.FPPortfolioLane)
+		releaseAll()
+	})
+
+	if code, raw := postSolve(t, ts, SolveRequest{Graph: triangleCol, Width: 3}); code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d body %s", code, raw)
+	}
+	// Wait until the worker picked the job up, then occupy the queue slot.
+	for s.shards[0].busy.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if code, raw := postSolve(t, ts, SolveRequest{Graph: triangleCol, Width: 3}); code != http.StatusAccepted {
+		t.Fatalf("second submit: status %d body %s", code, raw)
+	}
+
+	body, _ := json.Marshal(SolveRequest{Graph: triangleCol, Width: 3})
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: status %d, want 429", resp.StatusCode)
+	}
+	// 1 queued + 1 busy at ~5s each on one worker: the estimate must be
+	// at least the 5s median floor, far above the old hardcoded 1.
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if secs < 5 {
+		t.Errorf("Retry-After = %ds, want >= 5s (observed median service time)", secs)
+	}
+	releaseAll()
+}
+
+// TestHTTPIdempotencyKey covers the retry contract: resubmitting with
+// the same idempotency key binds to the existing job instead of
+// admitting a duplicate.
+func TestHTTPIdempotencyKey(t *testing.T) {
+	s, ts := newHTTPServer(t, Options{})
+	req := SolveRequest{Graph: triangleCol, Width: 3, IdempotencyKey: "retry-me"}
+	code, raw := postSolve(t, ts, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d body %s", code, raw)
+	}
+	first := decodeView(t, raw)
+
+	// Wait for completion, then retry: the duplicate reports the done
+	// job with a 200, same ID, no new admission.
+	job, ok := s.Lookup(first.ID)
+	if !ok {
+		t.Fatalf("job %s not in table", first.ID)
+	}
+	waitDone(t, job)
+	code, raw = postSolve(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("duplicate submit: status %d body %s, want 200", code, raw)
+	}
+	if dup := decodeView(t, raw); dup.ID != first.ID {
+		t.Fatalf("duplicate submit created job %s, want %s", dup.ID, first.ID)
+	}
+	if got := s.reg.Counter(MetricJobsSubmitted).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1 (duplicate must not be admitted)", MetricJobsSubmitted, got)
+	}
+}
+
 func TestHTTPDrainReturns503(t *testing.T) {
 	s, ts := newHTTPServer(t, Options{})
+
+	// Before the drain: alive and ready.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready readyBody
+	err = json.NewDecoder(resp.Body).Decode(&ready)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || !ready.Ready || len(ready.Shards) == 0 {
+		t.Fatalf("pre-drain readyz: status %d body %+v err %v", resp.StatusCode, ready, err)
+	}
+
 	if err := s.Drain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if code, raw := postSolve(t, ts, SolveRequest{Graph: triangleCol, Width: 3}); code != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain submit: status %d body %s, want 503", code, raw)
 	}
-	resp, err := http.Get(ts.URL + "/healthz")
+
+	// Liveness stays 200 while draining — restarting a gracefully
+	// shutting-down daemon would lose the jobs it is finishing — but it
+	// reports the drain state.
+	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var health healthBody
 	err = json.NewDecoder(resp.Body).Decode(&health)
 	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusServiceUnavailable || health.Status != "draining" {
+	if err != nil || resp.StatusCode != http.StatusOK || health.Status != "draining" {
 		t.Fatalf("draining healthz: status %d body %+v err %v", resp.StatusCode, health, err)
+	}
+
+	// Readiness flips to 503 so load balancers stop routing here.
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ready)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable || ready.Ready || ready.Status != "draining" {
+		t.Fatalf("draining readyz: status %d body %+v err %v", resp.StatusCode, ready, err)
 	}
 }
 

@@ -79,6 +79,14 @@ type SolveRequest struct {
 	// completed job (200), or 504 with partial attempt info when the
 	// job deadline expires first.
 	Wait bool `json:"wait,omitempty"`
+	// IdempotencyKey deduplicates retries: a resubmit carrying the key
+	// of an already-accepted job returns that job instead of creating a
+	// new one, including across a crash and journal replay. Keys are
+	// client-chosen and should be unique per logical request.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Priority selects the admission class: "interactive" (default)
+	// jobs are always dequeued before "batch" jobs on the same shard.
+	Priority string `json:"priority,omitempty"`
 }
 
 // LaneView is the per-lane slice of a job result: one portfolio lane's
@@ -104,14 +112,19 @@ type JobView struct {
 	Shard    string `json:"shard"`
 	Vertices int    `json:"vertices"`
 	Edges    int    `json:"edges"`
+	// Priority is the admission class the job was accepted under.
+	Priority string `json:"priority,omitempty"`
 	// Result: the answer, the winning strategy, its attempt count (or
 	// the largest lane attempt count when undecided), and the decoded
 	// coloring when requested. TimedOut marks an UNDECIDED answer
-	// caused by the job deadline expiring mid-solve.
+	// caused by the job deadline expiring mid-solve; Shed marks one the
+	// admission controller dropped at dequeue (deadline already expired
+	// or sojourn past the target) without running a solver.
 	Answer   string     `json:"answer,omitempty"`
 	Winner   string     `json:"winner,omitempty"`
 	Attempts int        `json:"attempts,omitempty"`
 	TimedOut bool       `json:"timed_out,omitempty"`
+	Shed     bool       `json:"shed,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Colors   []int      `json:"colors,omitempty"`
 	Lanes    []LaneView `json:"lanes,omitempty"`
@@ -135,6 +148,9 @@ type Job struct {
 	popts      portfolio.Options
 	wantColors bool
 	deadline   time.Time
+	key        string // idempotency key ("" = none)
+	priority   string // PriorityInteractive or PriorityBatch
+	probe      bool   // this job is a half-open circuit-breaker probe
 
 	mu       sync.Mutex
 	view     JobView
@@ -163,16 +179,21 @@ func (j *Job) finishedAt() time.Time {
 }
 
 // jobTable is the ID-indexed job registry with insertion order kept
-// for cap eviction.
+// for cap eviction and an idempotency-key index for duplicate-free
+// retries.
 type jobTable struct {
 	mu    sync.Mutex
 	byID  map[string]*Job
+	byKey map[string]*Job
 	order []*Job
 }
 
 func (t *jobTable) add(j *Job, maxJobs int) {
 	t.mu.Lock()
 	t.byID[j.ID] = j
+	if j.key != "" {
+		t.byKey[j.key] = j
+	}
 	t.order = append(t.order, j)
 	t.mu.Unlock()
 	if maxJobs > 0 {
@@ -180,11 +201,58 @@ func (t *jobTable) add(j *Job, maxJobs int) {
 	}
 }
 
+// addOrGet registers j unless another job already holds its
+// idempotency key, in which case the existing job is returned with
+// dup=true and j is discarded. The check-and-insert is atomic, so two
+// racing submits with the same key register exactly one job.
+func (t *jobTable) addOrGet(j *Job, maxJobs int) (*Job, bool) {
+	t.mu.Lock()
+	if j.key != "" {
+		if prev, ok := t.byKey[j.key]; ok {
+			t.mu.Unlock()
+			return prev, true
+		}
+		t.byKey[j.key] = j
+	}
+	t.byID[j.ID] = j
+	t.order = append(t.order, j)
+	t.mu.Unlock()
+	if maxJobs > 0 {
+		t.gc(time.Time{}, maxJobs)
+	}
+	return j, false
+}
+
 func (t *jobTable) get(id string) (*Job, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	j, ok := t.byID[id]
 	return j, ok
+}
+
+func (t *jobTable) getByKey(key string) (*Job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.byKey[key]
+	return j, ok
+}
+
+// remove unregisters a job that failed after registration (journal
+// write error); the backing order slice entry is dropped lazily by the
+// next gc pass.
+func (t *jobTable) remove(j *Job) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.byID, j.ID)
+	if j.key != "" && t.byKey[j.key] == j {
+		delete(t.byKey, j.key)
+	}
+	for i, o := range t.order {
+		if o == j {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
 }
 
 func (t *jobTable) len() int {
@@ -208,6 +276,9 @@ func (t *jobTable) gc(cutoff time.Time, maxJobs int) {
 		doneAndOverCap := !fin.IsZero() && maxJobs > 0 && len(t.byID) > maxJobs
 		if doneAndExpired || doneAndOverCap {
 			delete(t.byID, j.ID)
+			if j.key != "" && t.byKey[j.key] == j {
+				delete(t.byKey, j.key)
+			}
 			continue
 		}
 		kept = append(kept, j)

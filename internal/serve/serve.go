@@ -77,6 +77,32 @@ const (
 	MetricWorkers     = "serve.workers"
 	MetricPoolGets    = "serve.pool.gets"
 	MetricPoolReuses  = "serve.pool.reuses"
+	// MetricQueueBatch gauges the batch-class backlog per shard (the
+	// main depth gauge counts both classes); MetricRetryAfter gauges
+	// the Retry-After seconds the shard currently advertises on 429.
+	MetricQueueBatch = "serve.queue.batch"
+	MetricRetryAfter = "serve.retry.after"
+	// Journal metrics: records appended, records replayed at startup,
+	// unfinished jobs re-enqueued, completed results restored, torn or
+	// corrupt tails truncated, write errors, and the fsync timer.
+	MetricJournalRecords   = "serve.journal.records"
+	MetricJournalReplayed  = "serve.journal.replayed"
+	MetricJournalRecovered = "serve.journal.recovered"
+	MetricJournalRestored  = "serve.journal.restored"
+	MetricJournalTruncated = "serve.journal.truncated"
+	MetricJournalErrors    = "serve.journal.errors"
+	MetricJournalFsync     = "serve.journal.fsync"
+	// Breaker metrics: the per-shard state gauge (0 closed, 1
+	// half-open, 2 open), trips to open, and half-open probes admitted
+	// (both per shard).
+	MetricBreakerState  = "serve.breaker.state"
+	MetricBreakerTrips  = "serve.breaker.trips"
+	MetricBreakerProbes = "serve.breaker.probes"
+	// Shed metrics: jobs rejected at dequeue because they sat queued
+	// past the sojourn target, and jobs whose own deadline had already
+	// expired when a worker picked them up.
+	MetricShedSojourn  = "serve.shed.sojourn"
+	MetricShedDeadline = "serve.shed.deadline"
 )
 
 // DefaultStrategy is the encoding/symmetry pair jobs solve with when
@@ -105,12 +131,34 @@ const (
 // status codes (429, 503, 400).
 var (
 	// ErrQueueFull reports that the job's size-class shard had no queue
-	// slot free. The job was not admitted; retry with backoff.
+	// slot free. The job was not admitted; retry with backoff. Submit
+	// returns it wrapped in a *QueueFullError carrying the shard's
+	// adaptive Retry-After estimate.
 	ErrQueueFull = fmt.Errorf("serve: shard queue full")
 	// ErrDraining reports that the server has begun its graceful
 	// shutdown and admits no new work.
 	ErrDraining = fmt.Errorf("serve: server is draining")
+	// ErrJournal reports that the job journal could not durably record
+	// an accepted job; the submit is refused (retryable — the job was
+	// not admitted) rather than accepted without a durability
+	// guarantee.
+	ErrJournal = fmt.Errorf("serve: journal write failed; job not accepted")
 )
+
+// QueueFullError is the concrete error of a queue-full rejection:
+// errors.Is(err, ErrQueueFull) holds, and RetryAfter carries the
+// shard's backlog-drain estimate for the 429's Retry-After header.
+type QueueFullError struct {
+	Shard      string
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("serve: shard %s queue full (retry in %v)", e.Shard, e.RetryAfter.Round(time.Second))
+}
+
+// Is makes errors.Is(err, ErrQueueFull) succeed.
+func (e *QueueFullError) Is(target error) bool { return target == ErrQueueFull }
 
 // RequestError marks a submit rejected because of the request itself
 // (unknown instance, unparsable graph, invalid width); the HTTP layer
@@ -180,6 +228,27 @@ type Options struct {
 	RetainJobs time.Duration
 	MaxJobs    int
 	GCInterval time.Duration
+	// JournalDir enables the durable job journal: every accepted job is
+	// fsynced to a WAL in this directory before the submit returns, and
+	// NewServer replays it — re-enqueueing accepted-but-unfinished jobs
+	// and restoring completed results. Empty disables journaling (a
+	// restart loses all job state, as before).
+	JournalDir string
+	// SojournTarget is the CoDel-style shedding bound: a job that sat
+	// queued longer than this is rejected at dequeue (completing as
+	// UNDECIDED with Shed set) instead of being solved late. 0 selects
+	// the 30s default; negative disables sojourn shedding. Jobs whose
+	// own deadline already expired at dequeue are always shed.
+	SojournTarget time.Duration
+	// BreakerThreshold is the number of consecutive supervision
+	// failures (lane panics, watchdog abandonments, soundness
+	// violations, worker crashes) that trips a shard's circuit breaker
+	// (default 5; negative disables the breakers). BreakerBackoff is
+	// the first open period, doubling per consecutive failed probe up
+	// to BreakerMaxBackoff (defaults 1s and 1m).
+	BreakerThreshold  int
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -204,17 +273,56 @@ func (o Options) withDefaults() Options {
 	if o.GCInterval <= 0 {
 		o.GCInterval = 30 * time.Second
 	}
+	if o.SojournTarget == 0 {
+		o.SojournTarget = 30 * time.Second
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerBackoff <= 0 {
+		o.BreakerBackoff = time.Second
+	}
+	if o.BreakerMaxBackoff <= 0 {
+		o.BreakerMaxBackoff = time.Minute
+	}
 	return o
 }
 
-// shard is one size class: a bounded admission queue drained by a
-// fixed worker group, and the sat.Pool those workers draw solvers
-// from.
+// shard is one size class: two bounded admission queues (interactive
+// drained before batch) behind atomic reservation counters, the
+// sat.Pool the workers draw solvers from, the shard's service-time
+// statistics and its circuit breaker.
 type shard struct {
-	cfg   ShardConfig
-	queue chan *Job
-	pool  sat.Pool
-	busy  atomic.Int64
+	cfg ShardConfig
+	// qi/qb are the interactive and batch queues; ni/nb count reserved
+	// slots (reservation precedes the channel send so the journal can
+	// be written between admission and publication without a full-queue
+	// surprise after the fsync).
+	qi, qb chan *Job
+	ni, nb atomic.Int64
+	pool   sat.Pool
+	busy   atomic.Int64
+	adm    admission
+	brk    *breaker
+}
+
+// queued returns the shard's total reserved backlog across both
+// classes.
+func (sh *shard) queued() int { return int(sh.ni.Load() + sh.nb.Load()) }
+
+// reserve claims a queue slot in the given class, returning the
+// reservation counter to release on failure, or nil when the class
+// queue is full.
+func (sh *shard) reserve(priority string) *atomic.Int64 {
+	n, depth := &sh.ni, cap(sh.qi)
+	if priority == PriorityBatch {
+		n, depth = &sh.nb, cap(sh.qb)
+	}
+	if n.Add(1) > int64(depth) {
+		n.Add(-1)
+		return nil
+	}
+	return n
 }
 
 // Server is the serving core: shards, workers, the job table and its
@@ -237,9 +345,10 @@ type Server struct {
 	stopGC     chan struct{}
 	gcDone     chan struct{}
 
-	jobs   jobTable
-	idSeq  atomic.Int64
-	graphs sync.Map // instance name -> instanceEntry
+	jobs    jobTable
+	idSeq   atomic.Int64
+	graphs  sync.Map // instance name -> instanceEntry
+	journal *Journal // nil when journaling is disabled
 }
 
 // instanceEntry caches a built benchmark instance so repeated jobs on
@@ -298,19 +407,175 @@ func NewServer(opts Options) (*Server, error) {
 		cancelBase: cancel,
 		stopGC:     make(chan struct{}),
 		gcDone:     make(chan struct{}),
-		jobs:       jobTable{byID: map[string]*Job{}},
+		jobs:       jobTable{byID: map[string]*Job{}, byKey: map[string]*Job{}},
 	}
-	for _, sc := range shards {
-		sh := &shard{cfg: sc, queue: make(chan *Job, sc.QueueDepth)}
+	for i, sc := range shards {
+		sh := &shard{
+			cfg: sc,
+			qi:  make(chan *Job, sc.QueueDepth),
+			qb:  make(chan *Job, sc.QueueDepth),
+		}
+		if opts.BreakerThreshold > 0 {
+			name := sc.Name
+			sh.brk = newBreaker(opts.BreakerThreshold, opts.BreakerBackoff, opts.BreakerMaxBackoff,
+				time.Now().UnixNano()+int64(i), func(state int64) {
+					s.reg.Gauge(MetricBreakerState + "." + name).Set(state)
+					if state == breakerOpen {
+						s.reg.Counter(MetricBreakerTrips + "." + name).Inc()
+					}
+				})
+		}
 		s.shards = append(s.shards, sh)
-		for w := 0; w < sc.Workers; w++ {
+	}
+	s.preregisterMetrics()
+
+	// Replay the journal before any worker starts, so restored results
+	// are visible in the job table from the first request and recovered
+	// pending jobs keep their submission order.
+	var pending []*Job
+	if opts.JournalDir != "" {
+		journal, recovered, maxID, err := OpenJournal(opts.JournalDir, s.reg)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.journal = journal
+		s.idSeq.Store(maxID)
+		pending = s.restoreRecovered(recovered)
+	}
+
+	for _, sh := range s.shards {
+		for w := 0; w < sh.cfg.Workers; w++ {
 			s.workers.Add(1)
 			go s.worker(sh)
 		}
 	}
-	s.preregisterMetrics()
+	if len(pending) > 0 {
+		go s.requeueRecovered(pending)
+	}
 	go s.janitor()
 	return s, nil
+}
+
+// restoreRecovered folds the journal's replayed jobs into the server:
+// completed results go straight into the job table (idempotency keys
+// included), accepted-but-unfinished jobs are rebuilt from their
+// journaled requests and returned for re-enqueueing. A pending job
+// whose request no longer resolves (e.g. an instance that left the
+// registry) completes as failed rather than vanishing.
+func (s *Server) restoreRecovered(recovered []RecoveredJob) []*Job {
+	var pending []*Job
+	for _, rj := range recovered {
+		if rj.View != nil {
+			job := &Job{ID: rj.ID, key: rj.Key, view: *rj.View, done: make(chan struct{})}
+			job.finished = rj.FinishedAt
+			if job.finished.IsZero() {
+				job.finished = time.Now()
+			}
+			close(job.done)
+			s.jobs.addOrGet(job, s.opts.MaxJobs)
+			s.reg.Counter(MetricJournalRestored).Inc()
+			continue
+		}
+		job, err := s.rebuildJob(rj)
+		if err != nil {
+			job = &Job{ID: rj.ID, key: rj.Key, done: make(chan struct{})}
+			job.view = JobView{ID: rj.ID, State: StateDone, Answer: AnswerUndecided,
+				Error: fmt.Sprintf("recovery: %v", err), SubmittedAt: rj.SubmittedAt}
+			job.finished = time.Now()
+			close(job.done)
+			s.jobs.addOrGet(job, s.opts.MaxJobs)
+			continue
+		}
+		s.jobs.addOrGet(job, s.opts.MaxJobs)
+		s.reg.Counter(MetricJournalRecovered).Inc()
+		pending = append(pending, job)
+	}
+	return pending
+}
+
+// rebuildJob reconstructs a runnable job from its journaled request.
+// The deadline restarts from now — the original absolute deadline
+// usually lies in the crashed process's past, and re-enqueueing a job
+// only to shed it at dequeue would turn every recovery into a loss.
+func (s *Server) rebuildJob(rj RecoveredJob) (*Job, error) {
+	req := rj.Req
+	if err := validateKnobs(&req); err != nil {
+		return nil, err
+	}
+	g, width, instName, err := s.resolveProblem(&req)
+	if err != nil {
+		return nil, err
+	}
+	strategies, popts, err := s.resolveRun(&req)
+	if err != nil {
+		return nil, err
+	}
+	deadline := s.effectiveDeadline(req.DeadlineMS)
+	sh := s.classify(g.N())
+	now := time.Now()
+	job := &Job{
+		ID:         rj.ID,
+		key:        rj.Key,
+		g:          g,
+		width:      width,
+		strategies: strategies,
+		popts:      popts,
+		wantColors: req.WantColors,
+		priority:   req.Priority,
+		deadline:   now.Add(deadline),
+		done:       make(chan struct{}),
+	}
+	job.view = JobView{
+		ID:          rj.ID,
+		State:       StateQueued,
+		Instance:    instName,
+		Width:       width,
+		Shard:       sh.cfg.Name,
+		Priority:    priorityName(req.Priority),
+		Vertices:    g.N(),
+		Edges:       g.M(),
+		SubmittedAt: now,
+		DeadlineMS:  deadline.Milliseconds(),
+	}
+	return job, nil
+}
+
+// requeueRecovered feeds the recovered pending jobs back into their
+// shard queues. Sends block when a queue is momentarily full (the
+// workers are already draining), and each send holds the admission
+// read lock so it can never race a drain's queue close; a drain that
+// begins mid-recovery strands the remainder in the journal, where the
+// next startup recovers them again.
+func (s *Server) requeueRecovered(pending []*Job) {
+	for _, job := range pending {
+		sh := s.classify(job.view.Vertices)
+		q, n := sh.qi, &sh.ni
+		if job.priority == PriorityBatch {
+			q, n = sh.qb, &sh.nb
+		}
+		s.admit.RLock()
+		if s.draining {
+			s.admit.RUnlock()
+			return
+		}
+		n.Add(1)
+		q <- job
+		s.admit.RUnlock()
+	}
+}
+
+// effectiveDeadline applies the server's default and clamp to a
+// requested deadline.
+func (s *Server) effectiveDeadline(deadlineMS int64) time.Duration {
+	deadline := time.Duration(deadlineMS) * time.Millisecond
+	if deadline <= 0 {
+		deadline = s.opts.DefaultDeadline
+	}
+	if s.opts.MaxDeadline > 0 && deadline > s.opts.MaxDeadline {
+		deadline = s.opts.MaxDeadline
+	}
+	return deadline
 }
 
 // Metrics returns the server's registry (for -metrics-out style dumps
@@ -324,9 +589,13 @@ func (s *Server) preregisterMetrics() {
 	for _, name := range []string{
 		MetricJobsSubmitted, MetricJobsRejected, MetricJobsCompleted,
 		MetricJobsTimeout, MetricJobsFailed,
+		MetricJournalRecords, MetricJournalReplayed, MetricJournalRecovered,
+		MetricJournalRestored, MetricJournalTruncated, MetricJournalErrors,
+		MetricShedSojourn, MetricShedDeadline,
 	} {
 		s.reg.Counter(name)
 	}
+	s.reg.Timer(MetricJournalFsync)
 	for _, name := range []string{
 		portfolio.MetricPanics, portfolio.MetricRetries,
 		portfolio.MetricVerifySat, portfolio.MetricVerifyUnsat,
@@ -344,10 +613,15 @@ func (s *Server) preregisterMetrics() {
 		suffix := "." + sh.cfg.Name
 		s.reg.Gauge(MetricQueueDepth + suffix)
 		s.reg.Gauge(MetricQueueCap + suffix).Set(int64(sh.cfg.QueueDepth))
+		s.reg.Gauge(MetricQueueBatch + suffix)
 		s.reg.Gauge(MetricWorkersBusy + suffix)
 		s.reg.Gauge(MetricWorkers + suffix).Set(int64(sh.cfg.Workers))
 		s.reg.Gauge(MetricPoolGets + suffix)
 		s.reg.Gauge(MetricPoolReuses + suffix)
+		s.reg.Gauge(MetricRetryAfter + suffix)
+		s.reg.Gauge(MetricBreakerState + suffix)
+		s.reg.Counter(MetricBreakerTrips + suffix)
+		s.reg.Counter(MetricBreakerProbes + suffix)
 	}
 }
 
@@ -357,11 +631,14 @@ func (s *Server) preregisterMetrics() {
 func (s *Server) Scrape() obs.Snapshot {
 	for _, sh := range s.shards {
 		suffix := "." + sh.cfg.Name
-		s.reg.Gauge(MetricQueueDepth + suffix).Set(int64(len(sh.queue)))
+		s.reg.Gauge(MetricQueueDepth + suffix).Set(int64(sh.queued()))
+		s.reg.Gauge(MetricQueueBatch + suffix).Set(sh.nb.Load())
 		s.reg.Gauge(MetricWorkersBusy + suffix).Set(sh.busy.Load())
 		ps := sh.pool.Stats()
 		s.reg.Gauge(MetricPoolGets + suffix).Set(ps.Gets)
 		s.reg.Gauge(MetricPoolReuses + suffix).Set(ps.Reuses)
+		ra := sh.adm.retryAfter(sh.queued(), int(sh.busy.Load()), sh.cfg.Workers)
+		s.reg.Gauge(MetricRetryAfter + suffix).Set(int64(retryAfterSeconds(ra)))
 	}
 	s.reg.Gauge(MetricJobsRetained).Set(int64(s.jobs.len()))
 	return s.reg.Snapshot()
@@ -406,37 +683,42 @@ func (s *Server) resolveInstance(name string) (instanceEntry, error) {
 
 // Submit validates a request, resolves its conflict graph, classifies
 // it into a shard and enqueues it. It returns the registered job on
-// success; ErrQueueFull, ErrDraining and *RequestError are the
-// documented failure modes.
+// success; *QueueFullError (errors.Is ErrQueueFull), ErrDraining,
+// *BreakerOpenError, ErrJournal and *RequestError are the documented
+// failure modes.
 func (s *Server) Submit(req SolveRequest) (*Job, error) {
+	job, _, err := s.SubmitDedup(req)
+	return job, err
+}
+
+// SubmitDedup is Submit plus idempotency: when the request carries an
+// IdempotencyKey already bound to a retained job, that job is returned
+// with duplicate=true and nothing new is admitted — the client retry
+// contract across crashes and timeouts.
+func (s *Server) SubmitDedup(req SolveRequest) (job *Job, duplicate bool, err error) {
 	if err := validateKnobs(&req); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	g, width, instName, err := s.resolveProblem(&req)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	strategies, popts, err := s.resolveRun(&req)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
-	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
-	if deadline <= 0 {
-		deadline = s.opts.DefaultDeadline
-	}
-	if s.opts.MaxDeadline > 0 && deadline > s.opts.MaxDeadline {
-		deadline = s.opts.MaxDeadline
-	}
-
+	deadline := s.effectiveDeadline(req.DeadlineMS)
 	sh := s.classify(g.N())
 	now := time.Now()
-	job := &Job{
+	job = &Job{
+		key:        req.IdempotencyKey,
 		g:          g,
 		width:      width,
 		strategies: strategies,
 		popts:      popts,
 		wantColors: req.WantColors,
+		priority:   req.Priority,
 		deadline:   now.Add(deadline),
 		done:       make(chan struct{}),
 	}
@@ -445,6 +727,7 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 		Instance:    instName,
 		Width:       width,
 		Shard:       sh.cfg.Name,
+		Priority:    priorityName(req.Priority),
 		Vertices:    g.N(),
 		Edges:       g.M(),
 		SubmittedAt: now,
@@ -452,23 +735,98 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 	}
 
 	s.admit.RLock()
+	defer s.admit.RUnlock()
 	if s.draining {
-		s.admit.RUnlock()
-		return nil, ErrDraining
+		return nil, false, ErrDraining
+	}
+	if req.IdempotencyKey != "" {
+		if exist, ok := s.jobs.getByKey(req.IdempotencyKey); ok {
+			return exist, true, nil
+		}
+	}
+	probe := false
+	if sh.brk != nil {
+		ok, p, wait := sh.brk.allow()
+		if !ok {
+			return nil, false, &BreakerOpenError{Shard: sh.cfg.Name, RetryAfter: wait}
+		}
+		if probe = p; probe {
+			s.reg.Counter(MetricBreakerProbes + "." + sh.cfg.Name).Inc()
+		}
+	}
+	releaseProbe := func() {
+		if probe {
+			sh.brk.releaseProbe()
+		}
+	}
+	// Reserve the queue slot before the durable accept: a full queue
+	// must be discovered while no journal record exists, so rejected
+	// submits can never reappear as replayed jobs.
+	slot := sh.reserve(job.priority)
+	if slot == nil {
+		releaseProbe()
+		s.reg.Counter(MetricJobsRejected).Inc()
+		retry := sh.adm.retryAfter(sh.queued(), int(sh.busy.Load()), sh.cfg.Workers)
+		return nil, false, &QueueFullError{Shard: sh.cfg.Name, RetryAfter: retry}
 	}
 	job.ID = fmt.Sprintf("j%08d", s.idSeq.Add(1))
 	job.view.ID = job.ID
-	select {
-	case sh.queue <- job:
-		s.jobs.add(job, s.opts.MaxJobs)
-		s.reg.Counter(MetricJobsSubmitted).Inc()
-		s.admit.RUnlock()
-		return job, nil
-	default:
-		s.admit.RUnlock()
-		s.reg.Counter(MetricJobsRejected).Inc()
-		return nil, ErrQueueFull
+	job.probe = probe
+	if exist, dup := s.jobs.addOrGet(job, s.opts.MaxJobs); dup {
+		// Two submits raced the same fresh idempotency key; the loser
+		// backs out and returns the winner.
+		slot.Add(-1)
+		releaseProbe()
+		return exist, true, nil
 	}
+	// Durable accept: the submit record is fsynced before the job is
+	// published to a worker or the caller — once Submit returns, a
+	// crash cannot lose the job.
+	if jerr := s.journalSubmit(job, &req, now); jerr != nil {
+		slot.Add(-1)
+		releaseProbe()
+		s.jobs.remove(job)
+		return nil, false, jerr
+	}
+	q := sh.qi
+	if job.priority == PriorityBatch {
+		q = sh.qb
+	}
+	q <- job // cannot block: the slot reservation guarantees room
+	s.reg.Counter(MetricJobsSubmitted).Inc()
+	return job, false, nil
+}
+
+// journalSubmit durably records an accepted job (fsync before return);
+// a failure is wrapped in ErrJournal.
+func (s *Server) journalSubmit(job *Job, req *SolveRequest, at time.Time) error {
+	if s.journal == nil {
+		return nil
+	}
+	rec := journalRecord{Kind: recSubmit, ID: job.ID, Key: job.key, Req: req, At: at}
+	if err := s.journal.append(rec, true); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return nil
+}
+
+// journalStart records that a worker picked the job up (advisory — no
+// fsync; replay treats started and queued jobs identically).
+func (s *Server) journalStart(job *Job) {
+	if s.journal == nil {
+		return
+	}
+	_ = s.journal.append(journalRecord{Kind: recStart, ID: job.ID, At: time.Now()}, false)
+}
+
+// journalDone durably records a completed job's result so a restart
+// restores it instead of re-running it.
+func (s *Server) journalDone(job *Job, view JobView) {
+	if s.journal == nil {
+		return
+	}
+	rec := journalRecord{Kind: recDone, ID: job.ID, Key: job.key, View: &view, At: time.Now()}
+	_ = s.journal.append(rec, true)
 }
 
 // validateKnobs bounds-checks every numeric solve knob before any
@@ -494,8 +852,19 @@ func validateKnobs(req *SolveRequest) error {
 		return badRequest("deadline_ms must not be negative, got %d", req.DeadlineMS)
 	case req.LaneTimeoutMS < 0:
 		return badRequest("lane_timeout_ms must not be negative, got %d", req.LaneTimeoutMS)
+	case req.Priority != "" && req.Priority != PriorityInteractive && req.Priority != PriorityBatch:
+		return badRequest("priority must be %q or %q, got %q", PriorityInteractive, PriorityBatch, req.Priority)
 	}
 	return nil
+}
+
+// priorityName normalizes the priority for job views ("" means
+// interactive).
+func priorityName(p string) string {
+	if p == "" {
+		return PriorityInteractive
+	}
+	return p
 }
 
 // resolveProblem turns the request's instance name or inline DIMACS
@@ -590,16 +959,138 @@ func (s *Server) Lookup(id string) (*Job, bool) { return s.jobs.get(id) }
 // JobCount returns the number of jobs currently retained in the table.
 func (s *Server) JobCount() int { return s.jobs.len() }
 
-// worker drains one shard's queue until Drain closes it. Each job runs
-// under the server's base context capped by the job deadline; the
-// solve itself is further supervised by portfolio.RunHardened.
+// worker drains one shard's queues — interactive strictly before
+// batch — until Drain closes them. Each job runs under the server's
+// base context capped by the job deadline; the solve itself is
+// supervised by portfolio.RunHardened, and the worker loop itself is a
+// panic boundary: a crash in the serve layer fails the one job (and
+// feeds the shard's breaker) instead of killing the process.
 func (s *Server) worker(sh *shard) {
 	defer s.workers.Done()
-	for job := range sh.queue {
+	qi, qb := sh.qi, sh.qb
+	for qi != nil || qb != nil {
+		var job *Job
+		var ok bool
+		var fromBatch bool
+		// Interactive first: only when no interactive job is waiting may
+		// a batch job be picked up.
+		if qi != nil {
+			select {
+			case job, ok = <-qi:
+				if !ok {
+					qi = nil
+					continue
+				}
+			default:
+			}
+		}
+		if job == nil {
+			switch {
+			case qi != nil && qb != nil:
+				select {
+				case job, ok = <-qi:
+					if !ok {
+						qi = nil
+						continue
+					}
+				case job, ok = <-qb:
+					if !ok {
+						qb = nil
+						continue
+					}
+					fromBatch = true
+				}
+			case qi != nil:
+				if job, ok = <-qi; !ok {
+					qi = nil
+					continue
+				}
+			default:
+				if job, ok = <-qb; !ok {
+					qb = nil
+					continue
+				}
+				fromBatch = true
+			}
+		}
+		if fromBatch {
+			sh.nb.Add(-1)
+		} else {
+			sh.ni.Add(-1)
+		}
+		robust.Hit(robust.FPServeDequeue, sh.cfg.Name)
 		sh.busy.Add(1)
-		s.runJob(sh, job)
+		s.superviseJob(sh, job)
 		sh.busy.Add(-1)
 	}
+}
+
+// superviseJob runs one job under a panic boundary. A panic in the
+// serve layer itself (not in a solver lane — those have their own
+// supervision) fails the job, journals the failure and counts as a
+// supervision failure for the shard's breaker.
+func (s *Server) superviseJob(sh *shard, job *Job) {
+	perr := robust.Capture("serve worker "+sh.cfg.Name, func() {
+		s.runJob(sh, job)
+	})
+	if perr == nil {
+		return
+	}
+	s.reg.Counter(MetricJobsFailed).Inc()
+	view := s.finishJob(job, func(v *JobView) {
+		v.Answer = AnswerUndecided
+		v.Error = perr.Error()
+	})
+	s.journalDone(job, view)
+	s.breakerResult(sh, job, true)
+}
+
+// breakerResult feeds a job outcome into the shard's breaker.
+func (s *Server) breakerResult(sh *shard, job *Job, failure bool) {
+	if sh.brk != nil {
+		sh.brk.onResult(failure, job.probe)
+	}
+}
+
+// shedJob rejects a job at dequeue time: it completes immediately as
+// UNDECIDED with Shed set instead of occupying a solver. reason is
+// "sojourn" (sat queued past the target) or "deadline" (its own
+// deadline had already expired).
+func (s *Server) shedJob(sh *shard, job *Job, queued time.Duration, reason string) {
+	if reason == "sojourn" {
+		s.reg.Counter(MetricShedSojourn).Inc()
+	} else {
+		s.reg.Counter(MetricShedDeadline).Inc()
+	}
+	view := s.finishJob(job, func(v *JobView) {
+		v.Answer = AnswerUndecided
+		v.Shed = true
+		v.QueuedMS = queued.Milliseconds()
+		v.Error = fmt.Sprintf("serve: shed at dequeue (%s): queued %v", reason, queued.Round(time.Millisecond))
+	})
+	s.journalDone(job, view)
+	// Shedding is overload, not poison: the breaker learns nothing, and
+	// a shed probe releases its claim so the next submit probes instead.
+	if job.probe && sh.brk != nil {
+		sh.brk.releaseProbe()
+	}
+}
+
+// finishJob transitions a job to done exactly once (workers, the shed
+// path and the panic boundary can race on a crashing worker), applies
+// mutate to the view and closes the done channel. It returns the final
+// view for journaling.
+func (s *Server) finishJob(job *Job, mutate func(v *JobView)) JobView {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.view.State != StateDone {
+		job.view.State = StateDone
+		mutate(&job.view)
+		job.finished = time.Now()
+		s.reg.Counter(MetricJobsCompleted).Inc()
+		close(job.done)
+	}
+	return job.view
 }
 
 // runJob executes one job end to end and publishes its result.
@@ -607,10 +1098,26 @@ func (s *Server) runJob(sh *shard, job *Job) {
 	started := time.Now()
 	job.mu.Lock()
 	queued := started.Sub(job.view.SubmittedAt)
+	job.mu.Unlock()
+	s.reg.Timer(MetricQueueWait).Observe(queued)
+
+	// CoDel-style early rejection: a job that would be solved late is
+	// cheaper to shed now than to solve for nobody.
+	if !job.deadline.IsZero() && started.After(job.deadline) {
+		s.shedJob(sh, job, queued, "deadline")
+		return
+	}
+	if s.opts.SojournTarget > 0 && queued > s.opts.SojournTarget {
+		s.shedJob(sh, job, queued, "sojourn")
+		return
+	}
+
+	job.mu.Lock()
 	job.view.State = StateRunning
 	job.view.QueuedMS = queued.Milliseconds()
 	job.mu.Unlock()
-	s.reg.Timer(MetricQueueWait).Observe(queued)
+	robust.Hit(robust.FPServeWorker, job.ID, sh.cfg.Name)
+	s.journalStart(job)
 
 	ctx, cancel := context.WithDeadline(s.baseCtx, job.deadline)
 	popts := job.popts
@@ -620,41 +1127,70 @@ func (s *Server) runJob(sh *shard, job *Job) {
 	elapsed := span.End()
 	deadlineExceeded := ctx.Err() == context.DeadlineExceeded
 	cancel()
+	sh.adm.observe(elapsed)
 
-	job.mu.Lock()
-	v := &job.view
-	v.State = StateDone
-	v.SolveMS = elapsed.Milliseconds()
-	v.Lanes = laneViews(all)
-	switch {
-	case err == nil && winner.Status == sat.Sat:
-		v.Answer = AnswerRoutable
-		v.Winner = winner.Strategy.Name()
-		v.Attempts = winner.Attempts
-		if job.wantColors {
-			v.Colors = winner.Colors
+	view := s.finishJob(job, func(v *JobView) {
+		v.SolveMS = elapsed.Milliseconds()
+		v.Lanes = laneViews(all)
+		switch {
+		case err == nil && winner.Status == sat.Sat:
+			v.Answer = AnswerRoutable
+			v.Winner = winner.Strategy.Name()
+			v.Attempts = winner.Attempts
+			if job.wantColors {
+				v.Colors = winner.Colors
+			}
+		case err == nil && winner.Status == sat.Unsat:
+			v.Answer = AnswerUnroutable
+			v.Winner = winner.Strategy.Name()
+			v.Attempts = winner.Attempts
+		default:
+			v.Answer = AnswerUndecided
+			v.Attempts = maxAttempts(all)
+			if err != nil {
+				v.Error = err.Error()
+			}
+			if deadlineExceeded {
+				v.TimedOut = true
+				s.reg.Counter(MetricJobsTimeout).Inc()
+			} else {
+				s.reg.Counter(MetricJobsFailed).Inc()
+			}
 		}
-	case err == nil && winner.Status == sat.Unsat:
-		v.Answer = AnswerUnroutable
-		v.Winner = winner.Strategy.Name()
-		v.Attempts = winner.Attempts
-	default:
-		v.Answer = AnswerUndecided
-		v.Attempts = maxAttempts(all)
-		if err != nil {
-			v.Error = err.Error()
+	})
+	s.journalDone(job, view)
+	s.breakerResult(sh, job, supervisionFailure(err, all))
+}
+
+// supervisionFailure classifies a finished run for the circuit
+// breaker: true only for the failure modes that indicate a poisoned
+// shard — lane panics, watchdog abandonments and soundness violations.
+// Timeouts, budget exhaustion and plain UNDECIDED answers are healthy
+// overload behaviour and never trip a breaker.
+func supervisionFailure(err error, all []portfolio.Result) bool {
+	check := func(e error) bool {
+		if e == nil {
+			return false
 		}
-		if deadlineExceeded {
-			v.TimedOut = true
-			s.reg.Counter(MetricJobsTimeout).Inc()
-		} else {
-			s.reg.Counter(MetricJobsFailed).Inc()
+		if _, ok := robust.AsPanic(e); ok {
+			return true
+		}
+		if _, ok := robust.AsSoundness(e); ok {
+			return true
+		}
+		// The watchdog reports abandonment as a plain error (see
+		// portfolio.RunHardened); match its fixed message.
+		return strings.Contains(e.Error(), "abandoned by watchdog")
+	}
+	if check(err) {
+		return true
+	}
+	for _, r := range all {
+		if check(r.Err) {
+			return true
 		}
 	}
-	job.finished = time.Now()
-	job.mu.Unlock()
-	s.reg.Counter(MetricJobsCompleted).Inc()
-	close(job.done)
+	return false
 }
 
 // laneViews condenses the per-lane portfolio results for the job view.
@@ -714,7 +1250,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		for _, sh := range s.shards {
-			close(sh.queue)
+			close(sh.qi)
+			close(sh.qb)
 		}
 		close(s.stopGC)
 	}
@@ -725,14 +1262,74 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.workers.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
 		<-s.gcDone
-		return nil
 	case <-ctx.Done():
 		s.cancelBase() // abort in-flight solves; they exit via cancellation polling
 		<-done
 		<-s.gcDone
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	_ = s.journal.Close()
+	return err
+}
+
+// Crash simulates SIGKILL at the serve layer: the journal stops
+// persisting immediately (records already fsynced survive, exactly
+// what a real crash preserves), in-flight solves are cancelled, and
+// the goroutines are reaped without any of the drain path's result
+// publication reaching disk. The crash-only recovery contract — open a
+// new Server on the same JournalDir and every accepted-but-unfinished
+// job is re-enqueued, every journaled result restored — is what the
+// chaos suite exercises through this method.
+func (s *Server) Crash() {
+	s.journal.kill()
+	s.cancelBase()
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(expired)
+}
+
+// ShardStatus is one shard's slice of the readiness report.
+type ShardStatus struct {
+	Name string `json:"name"`
+	// Breaker is the circuit-breaker state: closed, half-open or open
+	// ("disabled" when breakers are off).
+	Breaker string `json:"breaker"`
+	// Queued and Cap are the interactive backlog and its capacity; a
+	// shard with a full interactive queue or an open breaker is not
+	// ready.
+	Queued int  `json:"queued"`
+	Cap    int  `json:"cap"`
+	Ready  bool `json:"ready"`
+}
+
+// Readiness reports whether the server should receive new traffic and
+// the per-shard detail behind the verdict: not draining, and at least
+// one shard with a closed (or half-open) breaker and a non-full
+// interactive queue.
+func (s *Server) Readiness() (bool, []ShardStatus) {
+	draining := s.Draining()
+	shards := make([]ShardStatus, 0, len(s.shards))
+	anyReady := false
+	for _, sh := range s.shards {
+		st := ShardStatus{
+			Name:    sh.cfg.Name,
+			Breaker: "disabled",
+			Queued:  int(sh.ni.Load()),
+			Cap:     cap(sh.qi),
+		}
+		open := false
+		if sh.brk != nil {
+			state := sh.brk.current()
+			st.Breaker = breakerStateNames[state]
+			open = state == breakerOpen
+		}
+		st.Ready = !draining && !open && st.Queued < st.Cap
+		anyReady = anyReady || st.Ready
+		shards = append(shards, st)
+	}
+	return !draining && anyReady, shards
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -162,8 +163,13 @@ func TestQueueFullRejects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit(SolveRequest{Graph: triangleCol, Width: 3}); err != ErrQueueFull {
+	if _, err := s.Submit(SolveRequest{Graph: triangleCol, Width: 3}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submit returned %v, want ErrQueueFull", err)
+	} else {
+		var qf *QueueFullError
+		if !errors.As(err, &qf) || qf.RetryAfter < time.Second {
+			t.Fatalf("queue-full error %#v should carry a Retry-After of at least 1s", err)
+		}
 	}
 	if got := s.reg.Counter(MetricJobsRejected).Value(); got != 1 {
 		t.Errorf("%s = %d, want 1", MetricJobsRejected, got)
